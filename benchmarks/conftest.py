@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Each file regenerates one table or figure from the paper's evaluation;
+``pytest benchmarks/ --benchmark-only`` runs them all and prints the
+paper-style output alongside pytest-benchmark's timing statistics
+(which measure the harness itself — the *results* are in virtual time).
+"""

@@ -1,0 +1,68 @@
+"""Benchmark: ablations — upgrade strategies, TTST matrix, comparators."""
+
+from repro.bench import ablations
+
+
+def test_upgrade_strategies(benchmark):
+    outcomes = benchmark.pedantic(ablations.run_upgrade_strategies,
+                                  rounds=1, iterations=1)
+    print()
+    print(ablations.render_strategies(outcomes))
+    by_name = {o.strategy: o for o in outcomes}
+
+    # Stop/restart loses the state.
+    assert not by_name["stop-restart"].state_preserved
+    # Checkpoint-restart fails outright: the state format changed.
+    assert not by_name["checkpoint-restart"].upgrade_succeeded
+    # Kitsune succeeds but pauses for the whole transform.
+    assert by_name["kitsune"].upgrade_succeeded
+    assert by_name["kitsune"].state_preserved
+    # Mvedsua succeeds, keeps the state, and its leader pause is at
+    # least an order of magnitude below Kitsune's.
+    assert by_name["mvedsua"].upgrade_succeeded
+    assert by_name["mvedsua"].state_preserved
+    assert by_name["mvedsua"].pause_ns * 10 < by_name["kitsune"].pause_ns
+
+
+def test_ttst_detection_matrix(benchmark):
+    rows = benchmark.pedantic(ablations.run_ttst_matrix,
+                              rounds=1, iterations=1)
+    print()
+    print(ablations.render_ttst(rows))
+    by_fault = {row.fault: row for row in rows}
+
+    # Both catch the round-trip-breaking bug.
+    assert by_fault["transformer drops the table"].ttst_catches
+    assert by_fault["transformer drops the table"].mvedsua_catches
+    # The paper's §7 cases: TTST misses, Mvedsua catches.
+    for fault in ("uninitialised field (clean round trip)",
+                  "reversibly-wrong transform pair",
+                  "bug in the new code"):
+        assert not by_fault[fault].ttst_catches, fault
+        assert by_fault[fault].mvedsua_catches, fault
+    # Neither flags a correct update.
+    control = by_fault["correct update (control)"]
+    assert not control.ttst_catches and not control.mvedsua_catches
+
+
+def test_lockstep_comparators(benchmark):
+    rows = benchmark.pedantic(ablations.run_comparators,
+                              rounds=1, iterations=1)
+    print()
+    print(ablations.render_comparators(rows))
+    by_name = {row.system: row for row in rows}
+
+    # Mvedsua is the only system with every capability (§7).
+    assert all(by_name["Mvedsua-2"].capabilities.values())
+    for other in ("MUC", "Mx", "Imago"):
+        assert not all(by_name[other].capabilities.values()), other
+
+    # Overhead ordering: Mvedsua's steady state beats every lock-step
+    # system's best case (paper Table 2 bottom rows).
+    def low(cell):
+        return float(cell.split("-")[0].rstrip("%"))
+
+    assert low(by_name["Mvedsua-1"].redis_overhead) < \
+        low(by_name["MUC"].redis_overhead)
+    assert low(by_name["Mx"].redis_overhead) > 50  # 3x+ slowdown
+    assert low(by_name["Imago"].redis_overhead) > 90  # ~100x+

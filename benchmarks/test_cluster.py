@@ -1,0 +1,29 @@
+"""Benchmark: cluster rolling-upgrade ablation (§1.1 / §1.2)."""
+
+from repro.bench import cluster_bench
+
+
+def test_rolling_vs_mvedsua_cluster_upgrade(benchmark):
+    comparison = benchmark.pedantic(cluster_bench.run_cluster_comparison,
+                                    rounds=1, iterations=1)
+    print()
+    print(cluster_bench.render(comparison))
+
+    rolling, mvedsua = comparison.rolling, comparison.mvedsua
+
+    # The §1.1 argument: rolling restarts drop long-lived sessions and
+    # lose every node's in-memory state.
+    assert rolling.total_sessions_dropped == \
+        comparison.rolling_sessions_before
+    assert rolling.total_state_lost >= \
+        cluster_bench.NODES * cluster_bench.ENTRIES_PER_NODE
+
+    # Mvedsua upgrades the same cluster without losing anything.
+    assert mvedsua.total_sessions_dropped == 0
+    assert mvedsua.total_state_lost == 0
+    assert comparison.mvedsua_live_sessions_ok == \
+        comparison.rolling_sessions_before
+
+    # Per-node pause: fork-scale, not drain/restart-scale.
+    worst_pause = max(r.leader_pause_ns for r in mvedsua.records)
+    assert worst_pause < 100 * 10**6  # under 100 ms

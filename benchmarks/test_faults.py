@@ -1,0 +1,35 @@
+"""Benchmark: regenerate the §6.2 fault-tolerance experiments."""
+
+from repro.bench import faults
+
+
+def test_fault_tolerance_experiments(benchmark):
+    def run_all():
+        return faults.run_e1(), faults.run_e2(), faults.run_e3()
+
+    e1, e2, e3 = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(faults.render(e1, e2, e3))
+
+    def outcome(outcomes, system):
+        return next(o for o in outcomes if o.system.startswith(system))
+
+    # E1: Kitsune alone goes down; Mvedsua rolls back and keeps serving.
+    assert outcome(e1, "kitsune").fault_triggered
+    assert not outcome(e1, "kitsune").service_survived
+    assert outcome(e1, "mvedsua").service_survived
+    assert outcome(e1, "mvedsua").rolled_back
+
+    # E2: same contrast for the state-transformation bug.
+    assert outcome(e2, "kitsune").fault_triggered
+    assert not outcome(e2, "kitsune").service_survived
+    assert outcome(e2, "mvedsua").service_survived
+    assert outcome(e2, "mvedsua").rolled_back
+
+    # E3: the spurious divergence is tolerated, and retries always
+    # install the update with the paper's distribution.
+    assert e3.divergence_without_reset.fault_triggered
+    assert e3.divergence_without_reset.service_survived
+    assert all(trial.installed for trial in e3.trials)
+    assert e3.max_retries == 8
+    assert e3.median_retries == 2

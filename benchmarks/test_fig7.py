@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 7 (update pause vs ring-buffer size),
+including the §6.1 immediate-promotion ablation."""
+
+from repro.bench import fig7
+
+
+def test_fig7_large_state_update(benchmark):
+    rows = benchmark.pedantic(fig7.run_fig7, rounds=1, iterations=1)
+    print()
+    print(fig7.render(rows))
+
+    by_label = {row.label: row for row in rows}
+
+    # The orderings the figure establishes must all hold.
+    assert fig7.check_shape(rows) == []
+
+    # Native and the 2^24 buffer land on the paper's numbers (tight).
+    assert abs(by_label["native"].max_latency_ms - 100) < 15
+    assert abs(by_label["mvedsua-2^24"].max_latency_ms - 117) < 25
+
+    # Kitsune's pause within 20% of the paper's 5040 ms.
+    kitsune = by_label["kitsune"].max_latency_ms
+    assert abs(kitsune - 5040) / 5040 < 0.20
+
+    # Small buffers are *worse* than Kitsune; the big buffer masks the
+    # pause entirely (>40x better than Kitsune).
+    assert by_label["mvedsua-2^10"].max_latency_ms > kitsune
+    assert kitsune / by_label["mvedsua-2^24"].max_latency_ms > 40
+
+    # The ablation: skipping the outdated-leader drain costs seconds.
+    assert by_label["immediate-promotion"].max_latency_ms > 1000

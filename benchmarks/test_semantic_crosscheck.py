@@ -1,0 +1,34 @@
+"""Benchmark: semantic-vs-fluid cross-validation.
+
+Runs the full semantic stack (real Redis, ring buffer, rules) through a
+complete update lifecycle under a scaled Memtier workload and checks the
+measured virtual-time overheads against the calibrated model that
+produced Table 2 — the consistency guarantee between the repository's
+two fidelities.
+"""
+
+import pytest
+
+from repro.bench.semantic import run_semantic_redis_lifecycle
+from repro.syscalls.costs import PROFILES, ExecutionMode
+
+
+def test_semantic_lifecycle_matches_cost_model(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_semantic_redis_lifecycle(ops_per_phase=300),
+        rounds=1, iterations=1)
+
+    assert not result.diverged
+    assert result.update_succeeded
+
+    single = result.phase("single-before").ops_per_sec
+    mve = result.phase("outdated-leader").ops_per_sec
+    measured_drop = 1 - mve / single
+
+    profile = PROFILES["redis"]
+    model_drop = 1 - (profile.op_cost_ns(ExecutionMode.MVEDSUA_SINGLE)
+                      / profile.op_cost_ns(ExecutionMode.MVEDSUA_LEADER))
+    print(f"\nsemantic single-leader: {single:,.0f} ops/s (virtual)")
+    print(f"semantic MVE phase:     {mve:,.0f} ops/s (virtual)")
+    print(f"measured drop {measured_drop:.1%} vs model {model_drop:.1%}")
+    assert measured_drop == pytest.approx(model_drop, abs=0.06)

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 1 (Vsftpd rewrite rules per update)."""
+
+from repro.bench import table1
+
+
+def test_table1_rules_per_vsftpd_pair(benchmark):
+    rows = benchmark.pedantic(table1.run_table1, rounds=1, iterations=1)
+    print()
+    print(table1.render(rows))
+    # Every pair must validate: measured rule count == paper's, in sync
+    # with rules, diverging without (when rules are needed).
+    assert all(row.ok for row in rows)
+    average = sum(row.rules for row in rows) / len(rows)
+    assert round(average, 2) == 0.85
+
+
+def test_other_apps_rule_counts(benchmark):
+    rows = benchmark.pedantic(table1.other_apps_rule_counts,
+                              rounds=1, iterations=1)
+    by_pair = {(app, pair): (got, expected)
+               for app, pair, got, expected in rows}
+    # Paper §1.2: one rule for Redis (2.0.0 -> 2.0.1), none elsewhere.
+    assert by_pair[("redis", "2.0.0 -> 2.0.1")] == (1, 1)
+    for (app, pair), (got, expected) in by_pair.items():
+        assert got == expected, (app, pair)

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 2 (steady-state overhead matrix)."""
+
+from repro.bench import table2
+
+
+def test_table2_steady_state(benchmark):
+    cells = benchmark.pedantic(table2.run_table2, rounds=1, iterations=1)
+    print()
+    print(table2.render(cells))
+
+    by_key = {(c.app, c.mode): c for c in cells}
+
+    # Native throughput must land on the paper's absolute numbers.
+    for app in table2.WORKLOADS:
+        native = by_key[(app, "native")].ops_per_sec
+        paper = table2.PAPER_TABLE2[app]["native"]
+        assert abs(native - paper) / paper < 0.05, (app, native)
+
+    # Every overhead cell within 5 percentage points of the paper.
+    for cell in cells:
+        if cell.paper_overhead is None:
+            continue
+        assert abs(cell.overhead - cell.paper_overhead) < 0.05, \
+            (cell.app, cell.mode, cell.overhead)
+
+    # Shape: Mvedsua-1 stays in the paper's 3-9% band (0-9 with noise),
+    # Mvedsua-2 in 24-52%.
+    for app in table2.WORKLOADS:
+        single = by_key[(app, "mvedsua-1")].overhead
+        leader = by_key[(app, "mvedsua-2")].overhead
+        assert 0.0 < single < 0.10, (app, single)
+        assert 0.20 < leader < 0.55, (app, leader)
+        assert leader > single

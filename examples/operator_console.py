@@ -1,0 +1,77 @@
+"""The operator's view: console status, auto-pilot, and post-mortems.
+
+The paper leaves promotion to operators ("if the new version shows no
+problems after a warmup period, operators can make it permanent").  This
+example shows that workflow end to end on the running-example store:
+
+1. a buggy update attempt — the operator reads the post-mortem of the
+   automatic rollback;
+2. the fixed update driven by the AutoPilot policy (promote after a
+   clean warmup, finalize after a confirmation window) while traffic
+   flows.
+
+Run with:  python examples/operator_console.py
+"""
+
+from repro.core import AutoPilot, Mvedsua, OperatorConsole
+from repro.core.report import render_history
+from repro.dsu.transform import TransformRegistry
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    kv_rules,
+    kv_transforms,
+    xform_drop_table,
+)
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def main() -> None:
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    buggy = TransformRegistry()
+    buggy.register("kvstore", "1.0", "2.0", xform_drop_table)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
+                      transforms=buggy)
+    console = OperatorConsole(mvedsua)
+    client = VirtualClient(kernel, server.address)
+
+    client.command(mvedsua, b"PUT balance 1000")
+    print("== status before the update ==")
+    print(console.render_status())
+
+    # Attempt 1: the transformer silently drops the table; the first
+    # GET during catch-up diverges and the update rolls back.
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET balance", now=2 * SECOND)
+    print("\n== status after the rollback ==")
+    print(console.render_status())
+
+    # Attempt 2: transformer fixed; let the auto-pilot drive.
+    mvedsua.kitsune.transforms = kv_transforms()
+    pilot = AutoPilot(mvedsua, warmup_ns=5 * SECOND,
+                      min_validated_requests=5,
+                      confirm_ns=5 * SECOND)
+    mvedsua.request_update(KVStoreV2(), 10 * SECOND, rules=kv_rules())
+    for tick in range(25):
+        now = (11 + tick) * SECOND
+        client.command(mvedsua, b"PUT key%d v" % tick, now=now)
+        action = pilot.observe(now)
+        if action:
+            print(f"\n[auto-pilot @ {11 + tick}s] {action}")
+
+    print("\n== final status ==")
+    print(console.render_status())
+    print("\n== post-mortems ==")
+    print(render_history(mvedsua))
+    print("\nGET balance ->",
+          client.command(mvedsua, b"GET balance", now=60 * SECOND))
+
+
+if __name__ == "__main__":
+    main()

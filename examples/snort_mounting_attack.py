@@ -1,0 +1,63 @@
+"""The paper's opening motivation (§1.1): don't drop a mounting attack.
+
+A Snort-like intrusion detector tracks multi-packet attacks in an
+in-memory state machine.  An attacker has already sent the ``probe`` and
+``exploit`` packets when a security update must be applied.  Upgrading by
+stop/restart forgets the attack in progress — the final ``exfil`` packet
+sails through.  Upgrading with Mvedsua preserves the state machine and
+the alert fires.
+
+Run with:  python examples/snort_mounting_attack.py
+"""
+
+from repro.baselines import StopRestart
+from repro.core import Mvedsua
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.snort import SnortServer, snort_transforms, snort_version
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def mount_attack(client, runtime) -> None:
+    print("  attacker: PKT evil probe   ->",
+          client.command(runtime, b"PKT evil probe"))
+    print("  attacker: PKT evil exploit ->",
+          client.command(runtime, b"PKT evil exploit"))
+
+
+def main() -> None:
+    print("== upgrade by stop/restart ==")
+    kernel = VirtualKernel()
+    server = SnortServer(snort_version("1.0"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["kvstore"],
+                            with_kitsune=True)
+    sensor = VirtualClient(kernel, server.address, "sensor")
+    mount_attack(sensor, runtime)
+    print("  [operator restarts onto 1.1 — flow state dropped]")
+    StopRestart().perform(runtime, snort_version("1.1"), SECOND)
+    print("  attacker: PKT evil exfil   ->",
+          sensor.command(runtime, b"PKT evil exfil", now=2 * SECOND),
+          " <- attack MISSED")
+
+    print("\n== upgrade with Mvedsua ==")
+    kernel = VirtualKernel()
+    server = SnortServer(snort_version("1.0"))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
+                      transforms=snort_transforms())
+    sensor = VirtualClient(kernel, server.address, "sensor")
+    mount_attack(sensor, mvedsua)
+    attempt = mvedsua.request_update(snort_version("1.1"), SECOND)
+    print(f"  [update {attempt.reason}: follower updated off the "
+          f"critical path; flow state preserved]")
+    print("  attacker: PKT evil exfil   ->",
+          sensor.command(mvedsua, b"PKT evil exfil", now=2 * SECOND),
+          " <- attack caught")
+    print("  alert log:", kernel.fs.read_file("/snort-alerts.log"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in environments whose setuptools/pip cannot
+build PEP 660 editable wheels (e.g. no ``wheel`` package and no network).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""mvedsua-repro: a from-scratch reproduction of MVEDSUA (ASPLOS 2019).
+
+Mvedsua combines Dynamic Software Updating (Kitsune-style in-place code
+and state updates) with Multi-Version Execution (Varan-style
+syscall-level leader/follower monitoring) so that dynamic updates are
+both *pause-free* (the update runs on a forked follower) and *safe*
+(divergences roll the update back with no state loss).
+
+Package map -- see DESIGN.md for the full inventory:
+
+* :mod:`repro.core` -- the Mvedsua orchestrator (the paper's contribution).
+* :mod:`repro.dsu` / :mod:`repro.mve` -- the DSU and MVE substrates.
+* :mod:`repro.servers` -- Redis, Memcached, Vsftpd, and the running
+  example, with real wire protocols over :mod:`repro.net`'s virtual
+  kernel.
+* :mod:`repro.bench` -- one driver per paper table/figure
+  (``python -m repro all`` runs everything).
+
+Quickstart::
+
+    from repro.core import Mvedsua
+    from repro.net import VirtualKernel
+    from repro.servers.kvstore import (KVStoreServer, KVStoreV1,
+                                       KVStoreV2, kv_rules, kv_transforms)
+    from repro.syscalls.costs import PROFILES
+
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
+                      transforms=kv_transforms())
+    mvedsua.request_update(KVStoreV2(), now=0, rules=kv_rules())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

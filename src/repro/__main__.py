@@ -1,0 +1,52 @@
+"""Command-line entry point: run any experiment from the shell.
+
+    python -m repro table1        # Vsftpd rules per update pair
+    python -m repro table2        # steady-state overhead matrix
+    python -m repro fig6          # throughput through update stages
+    python -m repro fig7          # pause vs ring-buffer size
+    python -m repro faults        # §6.2 fault-tolerance experiments
+    python -m repro ablations     # upgrade strategies, TTST, comparators
+    python -m repro cluster       # rolling-upgrade ablation
+    python -m repro all           # everything above, in order
+    python -m repro experiments   # emit EXPERIMENTS.md to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import ablations, cluster_bench, experiments_md, faults, fig6, fig7, table1, table2
+
+_COMMANDS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "faults": faults.main,
+    "ablations": ablations.main,
+    "cluster": cluster_bench.main,
+    "experiments": experiments_md.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
+    parser.add_argument("experiment",
+                        choices=sorted(_COMMANDS) + ["all"],
+                        help="which experiment to run")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("table1", "table2", "fig6", "fig7", "faults",
+                     "ablations", "cluster"):
+            print(f"\n{'=' * 72}\n")
+            _COMMANDS[name]()
+    else:
+        _COMMANDS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Comparator systems from the paper's related work (§2.2, §7, Table 2).
+
+The paper positions Mvedsua against several alternatives; the bottom
+rows of Table 2 quote their overheads, and §7 argues about which update
+errors each can catch.  This package implements simplified but
+behaviour-faithful models of each so those comparisons can be
+regenerated:
+
+* :mod:`repro.baselines.restart` — stop/restart and checkpoint-restart
+  (§2.2): the non-DSU strategies, with real state loss and real
+  checkpoint/restore passes over the store.
+* :mod:`repro.baselines.ttst` — TTST's time-traveling state transfer
+  validation: forward-transform, backward-transform, compare — catches
+  some transformer bugs before deploying, misses others Mvedsua catches.
+* :mod:`repro.baselines.lockstep` — MUC and Mx style lock-step MVE
+  (every syscall synchronised between versions) for the overhead rows.
+"""
+
+from repro.baselines.restart import (
+    CheckpointRestart,
+    StopRestart,
+    checkpoint_pause_ns,
+)
+from repro.baselines.ttst import TTSTValidator, TTSTVerdict
+from repro.baselines.lockstep import LOCKSTEP_SYSTEMS, LockstepSystem
+
+__all__ = [
+    "StopRestart",
+    "CheckpointRestart",
+    "checkpoint_pause_ns",
+    "TTSTValidator",
+    "TTSTVerdict",
+    "LockstepSystem",
+    "LOCKSTEP_SYSTEMS",
+]

@@ -1,0 +1,69 @@
+"""Formatting helpers for benchmark output.
+
+Every experiment driver produces rows that are printed in the shape of
+the paper's tables, with a paper-reference column next to each measured
+value so deviations are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    materialised: List[List[str]] = [[_cell(value) for value in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i])
+                  for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("%", "")
+    stripped = stripped.lstrip("-+")
+    return stripped.isdigit()
+
+
+def format_percent(fraction: float) -> str:
+    """0.254 -> '25%'; small negatives (noise) render as-is."""
+    return f"{fraction:.0%}"
+
+
+def format_ms(nanos: Optional[int]) -> str:
+    """Nanoseconds -> milliseconds string."""
+    if nanos is None:
+        return "-"
+    return f"{nanos / 1e6:,.0f} ms"
+
+
+def sparkline(series: Sequence[float], width: int = 72) -> str:
+    """Terminal sparkline of a throughput series (for figures)."""
+    if not series:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    step = max(1, len(series) // width)
+    sampled = [max(series[i:i + step]) for i in range(0, len(series), step)]
+    top = max(sampled) or 1.0
+    return "".join(blocks[min(8, int(round(8 * value / top)))]
+                   for value in sampled)

@@ -1,0 +1,35 @@
+"""A small cluster substrate: nodes, load balancing, rolling upgrades.
+
+The paper's introduction (§1.1) frames Mvedsua against the
+industry-standard *rolling upgrade*: drain a node, restart it on the new
+version, repeat.  That works for stateless nodes but drops per-node state
+and stalls on long-lived sessions.  This package reproduces the argument
+quantitatively:
+
+* :mod:`repro.cluster.node` — one cluster node wrapping a server
+  deployment (native or Mvedsua-supervised).
+* :mod:`repro.cluster.balancer` — connection routing that steers new
+  clients away from draining nodes.
+* :mod:`repro.cluster.rolling` — the rolling-upgrade coordinator (drain /
+  restart / resume), and the Mvedsua alternative that updates each node
+  in place — which also implements the paper's §1.2 note that MVE
+  overhead "can be further mitigated by using rolling upgrades": only
+  one node at a time runs in leader-follower mode.
+"""
+
+from repro.cluster.node import ClusterNode, NodeStatus
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.rolling import (
+    MvedsuaRollingUpgrade,
+    RollingUpgrade,
+    UpgradeSummary,
+)
+
+__all__ = [
+    "ClusterNode",
+    "NodeStatus",
+    "LoadBalancer",
+    "RollingUpgrade",
+    "MvedsuaRollingUpgrade",
+    "UpgradeSummary",
+]

@@ -1,0 +1,52 @@
+"""Connection routing across cluster nodes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.node import ClusterNode
+from repro.errors import KernelError
+from repro.workloads.client import VirtualClient
+
+
+class LoadBalancer:
+    """Round-robin routing that respects node drain state.
+
+    New connections go to the next node that is accepting; existing
+    connections stick to their node (the balancer never migrates a
+    session — that is exactly why stateful nodes are hard to drain).
+    """
+
+    def __init__(self, nodes: List[ClusterNode]) -> None:
+        self.nodes = list(nodes)
+        self._cursor = 0
+
+    def serving_nodes(self) -> List[ClusterNode]:
+        """Nodes currently accepting new connections."""
+        return [node for node in self.nodes
+                if node.accepting_new_connections()]
+
+    def pick(self) -> ClusterNode:
+        """Choose a node for a new connection (round robin)."""
+        candidates = self.serving_nodes()
+        if not candidates:
+            raise KernelError("no cluster node is accepting connections")
+        node = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return node
+
+    def connect(self, name: str = "client") -> tuple:
+        """Open a new client connection via the balancer.
+
+        Returns ``(client, node)`` so callers can pump the right runtime.
+        """
+        node = self.pick()
+        client = VirtualClient(node.kernel, node.address, name)
+        return client, node
+
+    def pump_all(self, now: int) -> int:
+        """Let every node serve its pending input."""
+        latest = now
+        for node in self.nodes:
+            latest = max(latest, node.pump(now))
+        return latest

@@ -1,0 +1,71 @@
+"""One cluster node."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.core import Mvedsua
+from repro.dsu.transform import TransformRegistry
+from repro.net.kernel import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.syscalls.costs import AppProfile
+
+
+class NodeStatus(enum.Enum):
+    """Load-balancer-visible node state."""
+
+    SERVING = "serving"
+    DRAINING = "draining"
+    RESTARTING = "restarting"
+
+
+class ClusterNode:
+    """A server process plus its place in the cluster."""
+
+    def __init__(self, name: str, kernel: VirtualKernel, server: Any,
+                 profile: AppProfile, *,
+                 transforms: Optional[TransformRegistry] = None) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.server = server
+        self.profile = profile
+        self.status = NodeStatus.SERVING
+        if transforms is not None:
+            self.runtime: Any = Mvedsua(kernel, server, profile,
+                                        transforms=transforms)
+        else:
+            self.runtime = NativeRuntime(kernel, server, profile,
+                                         with_kitsune=True)
+
+    @property
+    def address(self):
+        return self.server.address
+
+    @property
+    def current_server(self) -> Any:
+        """The process currently serving clients.
+
+        Under Mvedsua this is the MVE group's *leader*, which after a
+        promotion is the forked (updated) copy rather than the process
+        the node started with.
+        """
+        if isinstance(self.runtime, Mvedsua):
+            return self.runtime.runtime.leader.server
+        return self.server
+
+    @property
+    def version_name(self) -> str:
+        return self.current_server.version.name
+
+    def accepting_new_connections(self) -> bool:
+        """True when the balancer may route new clients here."""
+        return self.status is NodeStatus.SERVING
+
+    def active_sessions(self) -> int:
+        """Connections currently attached to this node."""
+        return len(self.current_server.sessions)
+
+    def pump(self, now: int) -> int:
+        """Serve pending input."""
+        return self.runtime.pump(now)

@@ -1,0 +1,92 @@
+"""Update post-mortems: what happened, when, and why.
+
+Operators running Mvedsua in production need more than a boolean: after
+a rollback they want the divergence that triggered it, the stage it
+happened in, and the Figure 2 timeline as far as it got.  This module
+renders that from a deployment's history and the runtime event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.mvedsua import Mvedsua
+from repro.core.stages import UpdateTimeline
+from repro.mve.varan import RuntimeEvent
+from repro.sim.engine import ns_to_seconds
+
+
+@dataclass
+class UpdatePostMortem:
+    """One completed update attempt, explained."""
+
+    index: int
+    outcome: str                  # "finalized" | "rolled-back" | "failed-over"
+    timeline: UpdateTimeline
+    trigger: Optional[str]        # divergence/crash detail, if any
+    events: List[RuntimeEvent]
+
+    def duration_ns(self) -> Optional[int]:
+        end = (self.timeline.t6_finalized
+               if self.timeline.t6_finalized is not None
+               else self.timeline.rolled_back_at)
+        if end is None or self.timeline.t1_forked is None:
+            return None
+        return end - self.timeline.t1_forked
+
+    def render(self) -> str:
+        lines = [f"update #{self.index}: {self.outcome}"]
+        timeline = self.timeline
+        for label, value in (
+            ("t1 forked", timeline.t1_forked),
+            ("t2 updated", timeline.t2_updated),
+            ("t3 caught up", timeline.t3_caught_up),
+            ("t4 demote requested", timeline.t4_demote),
+            ("t5 promoted", timeline.t5_promoted),
+            ("t6 finalized", timeline.t6_finalized),
+            ("rolled back", timeline.rolled_back_at),
+        ):
+            if value is not None:
+                lines.append(f"  {label:20s} {ns_to_seconds(value):10.3f}s")
+        if self.trigger:
+            lines.append(f"  trigger: {self.trigger}")
+        return "\n".join(lines)
+
+
+def post_mortems(mvedsua: Mvedsua) -> List[UpdatePostMortem]:
+    """Explain every completed update attempt of a deployment."""
+    reports: List[UpdatePostMortem] = []
+    events = mvedsua.runtime.events
+    for index, timeline in enumerate(mvedsua.history):
+        start = timeline.t1_forked or 0
+        end = (timeline.t6_finalized
+               if timeline.t6_finalized is not None
+               else timeline.rolled_back_at)
+        window = [event for event in events
+                  if start <= event.at and (end is None or event.at <= end)]
+        if timeline.rolled_back():
+            outcome = "rolled-back"
+        elif any(event.kind == "follower-promoted-after-crash"
+                 for event in window):
+            outcome = "failed-over (old-version crash)"
+        else:
+            outcome = "finalized"
+        trigger = None
+        for event in window:
+            if event.kind in ("divergence", "follower-crash",
+                              "leader-crash"):
+                trigger = f"{event.kind}: {event.detail}"
+                break
+        reports.append(UpdatePostMortem(index=index, outcome=outcome,
+                                        timeline=timeline,
+                                        trigger=trigger, events=window))
+    return reports
+
+
+def render_history(mvedsua: Mvedsua) -> str:
+    """All post-mortems, ready to print."""
+    reports = post_mortems(mvedsua)
+    if not reports:
+        return "no completed update attempts"
+    return "\n\n".join(report.render() for report in reports)

@@ -1,0 +1,131 @@
+"""The DSU engine (Kitsune analogue).
+
+A standalone Kitsune update is: signal → quiesce all threads at update
+points → run the state transformer → swap code → resume.  The whole
+process pauses service for ``quiesce + transform`` — the pause Figure 7
+measures at ~5 s for a 1M-entry Redis heap.
+
+Mvedsua changes *where* this work happens, not what it is: the update is
+applied to a forked follower while the leader keeps serving.  The hooks
+the paper added to Kitsune (§4) appear here as :meth:`Kitsune.quiesce` /
+:meth:`Kitsune.transform` being callable separately, plus the program's
+abort callback for the leader side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import QuiescenceTimeout, StateTransformError
+from repro.dsu.program import UpdatableProgram
+from repro.dsu.transform import TransformRegistry
+from repro.dsu.version import ServerVersion
+
+
+class UpdateOutcome(enum.Enum):
+    """How an update attempt ended."""
+
+    APPLIED = "applied"
+    QUIESCENCE_FAILED = "quiescence-failed"
+    TRANSFORM_FAILED = "transform-failed"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one update attempt.
+
+    ``pause_ns`` is the service pause this attempt caused on the process
+    that executed it: for standalone Kitsune that is the full quiesce +
+    transform time; under Mvedsua the leader only pays the fork, so the
+    caller reports its own (much smaller) pause.
+    """
+
+    outcome: UpdateOutcome
+    pause_ns: int
+    old_version: str
+    new_version: str
+    error: Optional[str] = None
+    entries_transformed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is UpdateOutcome.APPLIED
+
+
+class Kitsune:
+    """Quiesce / transform / swap, with separable phases for Mvedsua."""
+
+    def __init__(self, transforms: TransformRegistry,
+                 quiesce_timeout_ns: int = 50_000_000) -> None:
+        self.transforms = transforms
+        self.quiesce_timeout_ns = quiesce_timeout_ns
+
+    # -- phases (used piecewise by Mvedsua) ---------------------------------
+
+    def quiesce(self, program: UpdatableProgram) -> int:
+        """Park all threads at update points; returns the time it took.
+
+        Raises :class:`QuiescenceTimeout` when some thread cannot reach an
+        update point — the *timing error* class of update failures.
+        """
+        needed = program.quiescence_time()
+        if needed is None or needed > self.quiesce_timeout_ns:
+            blockers = [
+                t.name for t in program.threads
+                if t.blocked_on_lock
+                or (t.inside_event_loop and not program.epoll_update_points)
+                or t.reach_update_point_ns > self.quiesce_timeout_ns
+            ]
+            raise QuiescenceTimeout(
+                f"threads never reached update points: {blockers}"
+            )
+        return needed
+
+    def transform(self, program: UpdatableProgram,
+                  new_version: ServerVersion,
+                  xform_entry_ns: int = 0) -> tuple[Dict[str, Any], int, int]:
+        """Run the state transformer for ``program -> new_version``.
+
+        Returns ``(new_heap, duration_ns, entries)``.  Raises
+        :class:`StateTransformError` on buggy transformers.
+        """
+        old = program.version
+        new_heap = self.transforms.apply(old.app, old.name, new_version.name,
+                                         program.heap)
+        entries = old.heap_entries(program.heap)
+        duration = entries * xform_entry_ns
+        return new_heap, duration, entries
+
+    # -- the standalone (non-MVE) update -------------------------------------
+
+    def apply_update(self, program: UpdatableProgram,
+                     new_version: ServerVersion, *,
+                     xform_entry_ns: int = 0) -> UpdateResult:
+        """Update ``program`` in place, Kitsune-style.
+
+        On success the program runs the new version with the transformed
+        heap, and the result carries the full service pause.  On failure
+        the program is untouched (Kitsune aborts back to the old code) and
+        the result says why.
+        """
+        old_name = program.version.name
+        try:
+            quiesce_ns = self.quiesce(program)
+        except QuiescenceTimeout as exc:
+            return UpdateResult(UpdateOutcome.QUIESCENCE_FAILED, 0,
+                                old_name, new_version.name, error=str(exc))
+        try:
+            new_heap, xform_ns, entries = self.transform(
+                program, new_version, xform_entry_ns)
+        except StateTransformError as exc:
+            # A detectably-failing transformer aborts the update after the
+            # pause already paid for quiescence.
+            return UpdateResult(UpdateOutcome.TRANSFORM_FAILED, quiesce_ns,
+                                old_name, new_version.name, error=str(exc))
+        program.version = new_version
+        program.heap = new_heap
+        return UpdateResult(UpdateOutcome.APPLIED, quiesce_ns + xform_ns,
+                            old_name, new_version.name,
+                            entries_transformed=entries)

@@ -1,0 +1,85 @@
+"""State transformers.
+
+When Kitsune swaps code versions it must also migrate the heap: every
+in-memory object whose layout changed gets rewritten by a programmer
+supplied transformer.  Transformers here are functions from the old heap
+to a new heap.  They are the component the paper's "state transformation
+error" experiments (§6.2) inject bugs into, so the registry supports
+replacing a correct transformer with a buggy variant without touching the
+version code.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import NoUpdatePath, StateTransformError
+
+#: A state transformer maps an old-version heap to a new-version heap.
+StateTransformer = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def identity_transform(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Transformer for updates that do not change state layout."""
+    return copy.deepcopy(heap)
+
+
+class TransformRegistry:
+    """Transformers keyed by ``(app, old_version, new_version)``."""
+
+    def __init__(self) -> None:
+        self._transformers: Dict[Tuple[str, str, str], StateTransformer] = {}
+
+    def register(self, app: str, old: str, new: str,
+                 transformer: Optional[StateTransformer] = None):
+        """Register a transformer; usable directly or as a decorator.
+
+        ``registry.register("redis", "2.0.0", "2.0.1", fn)`` or::
+
+            @registry.register("redis", "2.0.0", "2.0.1")
+            def xform(heap): ...
+        """
+        def _install(fn: StateTransformer) -> StateTransformer:
+            self._transformers[(app, old, new)] = fn
+            return fn
+
+        if transformer is not None:
+            return _install(transformer)
+        return _install
+
+    def get(self, app: str, old: str, new: str) -> StateTransformer:
+        """The transformer for one update pair."""
+        try:
+            return self._transformers[(app, old, new)]
+        except KeyError:
+            raise NoUpdatePath(
+                f"no state transformer registered for {app} {old} -> {new}"
+            ) from None
+
+    def has(self, app: str, old: str, new: str) -> bool:
+        """True when an update path exists."""
+        return (app, old, new) in self._transformers
+
+    def apply(self, app: str, old: str, new: str,
+              heap: Dict[str, Any]) -> Dict[str, Any]:
+        """Run the transformer, wrapping failures as update errors.
+
+        The old heap is never mutated: transformers receive a deep copy,
+        matching Kitsune's behaviour of building the new state while the
+        old process image still exists (and making rollback safe).
+        """
+        transformer = self.get(app, old, new)
+        try:
+            new_heap = transformer(copy.deepcopy(heap))
+        except StateTransformError:
+            raise
+        except Exception as exc:
+            raise StateTransformError(
+                f"transformer {app} {old}->{new} raised: {exc!r}"
+            ) from exc
+        if new_heap is None:
+            raise StateTransformError(
+                f"transformer {app} {old}->{new} returned no heap"
+            )
+        return new_heap

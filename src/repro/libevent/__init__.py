@@ -1,0 +1,12 @@
+"""LibEvent analogue — the event-dispatch layer Memcached is built on.
+
+The paper's Memcached case study (§5.3) hinges on one LibEvent detail:
+when several events are ready, callbacks run in *round-robin* order and
+LibEvent remembers where it left off.  A freshly-updated follower lacks
+that memory, so it handles events in a different order than the leader —
+a spurious divergence unless the leader's state is reset on update abort.
+"""
+
+from repro.libevent.event_loop import LibEventLoop
+
+__all__ = ["LibEventLoop"]

@@ -1,0 +1,56 @@
+"""Divergence detection.
+
+A follower diverges when the syscall it is about to issue does not match
+the next expected record (the leader's record stream after rewrite
+rules), when it issues more syscalls than expected, or when it issues
+fewer.  Divergences carry both sides so operators (and tests) can see
+exactly what disagreed — mirroring Varan's divergence reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import DivergenceError
+from repro.syscalls.model import SyscallRecord
+
+
+@dataclass
+class DivergenceReport:
+    """What the MVE monitor saw when leader and follower disagreed."""
+
+    reason: str
+    expected: Optional[SyscallRecord]
+    actual: Optional[SyscallRecord]
+
+    def describe(self) -> str:
+        expected = self.expected.describe() if self.expected else "<nothing>"
+        actual = self.actual.describe() if self.actual else "<nothing>"
+        return (f"divergence ({self.reason}): leader expected {expected}, "
+                f"follower issued {actual}")
+
+
+def check_match(expected: Optional[SyscallRecord],
+                actual: SyscallRecord) -> None:
+    """Raise :class:`DivergenceError` unless ``actual`` matches ``expected``."""
+    if expected is None:
+        report = DivergenceReport("follower issued extra syscall", None, actual)
+        raise DivergenceError(report.describe(), expected=None, actual=actual)
+    if expected.aux.get("wildcard"):
+        # A rewrite rule declared this position "any syscall of this
+        # kind is fine" (e.g. the reply an older version writes where a
+        # newer one, told 'noreply', stays silent).
+        if expected.name is actual.name:
+            return
+    if not expected.matches(actual):
+        report = DivergenceReport("syscall mismatch", expected, actual)
+        raise DivergenceError(report.describe(), expected=expected, actual=actual)
+
+
+def check_drained(leftover: List[SyscallRecord]) -> None:
+    """Raise when the follower finished while expected records remain."""
+    if leftover:
+        report = DivergenceReport("follower issued fewer syscalls",
+                                  leftover[0], None)
+        raise DivergenceError(report.describe(), expected=leftover[0], actual=None)

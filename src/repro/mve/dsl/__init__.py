@@ -1,0 +1,52 @@
+"""The rewrite-rule DSL (paper §3.3, Figures 4 and 5).
+
+Rules map the *leader's* recorded syscall sequence into the sequence the
+*follower* is expected to issue, tolerating intentional cross-version
+differences while still catching real divergences.  Two stages use two
+rule directions:
+
+* ``OUTDATED_LEADER`` — old version leads; rules force the new follower
+  to adhere to old-version semantics (e.g. redirect a new command the old
+  leader rejected to ``bad-cmd`` so the follower rejects it too).
+* ``UPDATED_LEADER`` — new version leads after promotion; the reverse
+  mapping.
+
+Rules can be built programmatically (:mod:`repro.mve.dsl.rules`) or
+parsed from the paper-style textual syntax (:mod:`repro.mve.dsl.parser`).
+"""
+
+from repro.mve.dsl.rules import (
+    ANY_FD,
+    Direction,
+    RewriteRule,
+    RuleEngine,
+    RuleSet,
+    SyscallPattern,
+    merge_writes,
+    redirect_read,
+    rewrite_read,
+    rewrite_write,
+    split_write,
+    suppress_reply,
+    swap_adjacent,
+    tolerate_extra_reply,
+)
+from repro.mve.dsl.parser import parse_rules
+
+__all__ = [
+    "ANY_FD",
+    "Direction",
+    "RewriteRule",
+    "RuleEngine",
+    "RuleSet",
+    "SyscallPattern",
+    "merge_writes",
+    "redirect_read",
+    "rewrite_read",
+    "rewrite_write",
+    "split_write",
+    "suppress_reply",
+    "swap_adjacent",
+    "tolerate_extra_reply",
+    "parse_rules",
+]

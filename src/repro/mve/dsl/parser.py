@@ -1,0 +1,315 @@
+"""Textual rule DSL, in the spirit of the paper's Figures 4 and 5.
+
+Varan's DSL (Pina et al., USENIX ATC'17) writes rules as a match over the
+leader's syscalls followed by the sequence the follower should issue.
+This parser accepts a line-oriented rendering of the same idea::
+
+    # Figure 4, Rule 1: direct new-typed PUTs to an invalid command.
+    rule put_typed outdated-leader:
+        read(fd, s) where startswith(s, "PUT-") => read(fd, "bad-cmd\\r\\n")
+
+    # Figure 5: redirect commands the old leader rejected.
+    rule stou outdated-leader:
+        read(fd, s), write(fd, r) where r == "500 Unknown command.\\r\\n"
+            => read(fd, "FOOBAR\\r\\n"), write(fd, r)
+
+    # Merge a split banner write.
+    rule banner both:
+        write(fd, a), write(fd, b) where startswith(a, "220") => write(fd, a + b)
+
+    # Swap two adjacent syscalls (Redis 2.0.0 -> 2.0.1).
+    rule aof_order outdated-leader:
+        write(f1, a), write(f2, b) where startswith(b, "*") => write(f2, b), write(f1, a)
+
+Grammar (informal)::
+
+    rules      := { rule }
+    rule       := "rule" NAME [direction] ":" match_seq "=>" emit_seq
+    direction  := "outdated-leader" | "updated-leader" | "both"
+    match_seq  := match { "," match } [ "where" cond { "and" cond } ]
+    match      := SYSCALL "(" fdvar "," var ")"
+    cond       := var "==" STRING | var "!=" STRING
+                | PRED "(" var "," STRING ")"          # startswith/endswith/contains
+    emit_seq   := emit { "," emit }
+    emit       := SYSCALL "(" fdvar "," expr ")"
+    expr       := STRING | var | var "+" var
+                | "replace_prefix" "(" var "," STRING "," STRING ")"
+                | "replace" "(" var "," STRING "," STRING ")"
+
+Variables bind the fd and payload of the matched records; emitted records
+reuse the matched record's fd (patterns in this reproduction always apply
+per-connection, which is what the paper's rules do too).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DslSyntaxError
+from repro.mve.dsl.rules import Direction, RewriteRule, SyscallPattern
+from repro.syscalls.model import Sys, SyscallRecord
+
+_SYSCALLS = {
+    "read": Sys.READ,
+    "write": Sys.WRITE,
+    "open": Sys.OPEN,
+    "close": Sys.CLOSE,
+    "unlink": Sys.UNLINK,
+}
+
+_DIRECTIONS = {
+    "outdated-leader": Direction.OUTDATED_LEADER,
+    "updated-leader": Direction.UPDATED_LEADER,
+    "both": Direction.BOTH,
+}
+
+_PREDICATES = {
+    "startswith": bytes.startswith,
+    "endswith": bytes.endswith,
+    "contains": lambda data, lit: lit in data,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"      # string literal
+      | =>                     # arrow
+      | == | != | \+ | , | \( | \) | :
+      | [A-Za-z_][A-Za-z0-9_-]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _unescape(literal: str) -> bytes:
+    body = literal[1:-1]
+    return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    stripped = "\n".join(
+        line.split("#", 1)[0] for line in text.splitlines()
+    )
+    while position < len(stripped):
+        match = _TOKEN_RE.match(stripped, position)
+        if match is None:
+            remainder = stripped[position:].strip()
+            if not remainder:
+                break
+            raise DslSyntaxError(f"cannot tokenize near: {remainder[:30]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+@dataclass
+class _MatchItem:
+    syscall: Sys
+    fd_var: str
+    data_var: str
+
+
+@dataclass
+class _EmitItem:
+    syscall: Sys
+    fd_var: str
+    expr: Callable[[Dict[str, bytes]], bytes]
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    def peek(self) -> Optional[str]:
+        if self.at_end():
+            return None
+        return self.tokens[self.position]
+
+    def next(self) -> str:
+        if self.at_end():
+            raise DslSyntaxError("unexpected end of input")
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise DslSyntaxError(f"expected {token!r}, got {got!r}")
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_rules(self) -> List[RewriteRule]:
+        rules = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> RewriteRule:
+        self.expect("rule")
+        name = self.next()
+        direction = Direction.OUTDATED_LEADER
+        if self.peek() in _DIRECTIONS:
+            direction = _DIRECTIONS[self.next()]
+        self.expect(":")
+        matches = [self.parse_match()]
+        while self.peek() == ",":
+            self.next()
+            matches.append(self.parse_match())
+        conditions = []
+        if self.peek() == "where":
+            self.next()
+            conditions.append(self.parse_condition(matches))
+            while self.peek() == "and":
+                self.next()
+                conditions.append(self.parse_condition(matches))
+        self.expect("=>")
+        emits = [self.parse_emit(matches)]
+        while self.peek() == ",":
+            self.next()
+            emits.append(self.parse_emit(matches))
+        return _build_rule(name, direction, matches, conditions, emits)
+
+    def parse_match(self) -> _MatchItem:
+        syscall_name = self.next()
+        if syscall_name not in _SYSCALLS:
+            raise DslSyntaxError(f"unknown syscall {syscall_name!r}")
+        self.expect("(")
+        fd_var = self.next()
+        self.expect(",")
+        data_var = self.next()
+        self.expect(")")
+        return _MatchItem(_SYSCALLS[syscall_name], fd_var, data_var)
+
+    def parse_condition(self, matches: List[_MatchItem]):
+        """Returns (var_name, predicate over payload bytes)."""
+        head = self.next()
+        if head in _PREDICATES:
+            predicate = _PREDICATES[head]
+            self.expect("(")
+            var = self.next()
+            self.expect(",")
+            literal = self._string()
+            self.expect(")")
+            _require_var(var, matches)
+            return (var, lambda data, p=predicate, lit=literal: p(data, lit))
+        var = head
+        operator = self.next()
+        literal = self._string()
+        _require_var(var, matches)
+        if operator == "==":
+            return (var, lambda data, lit=literal: data == lit)
+        if operator == "!=":
+            return (var, lambda data, lit=literal: data != lit)
+        raise DslSyntaxError(f"unknown operator {operator!r}")
+
+    def parse_emit(self, matches: List[_MatchItem]) -> _EmitItem:
+        syscall_name = self.next()
+        if syscall_name not in _SYSCALLS:
+            raise DslSyntaxError(f"unknown syscall {syscall_name!r}")
+        self.expect("(")
+        fd_var = self.next()
+        self.expect(",")
+        expr = self.parse_expr(matches)
+        self.expect(")")
+        _require_fd_var(fd_var, matches)
+        return _EmitItem(_SYSCALLS[syscall_name], fd_var, expr)
+
+    def parse_expr(self, matches: List[_MatchItem]):
+        head = self.next()
+        if head.startswith('"'):
+            literal = _unescape(head)
+            return lambda env, lit=literal: lit
+        if head in ("replace_prefix", "replace"):
+            self.expect("(")
+            var = self.next()
+            self.expect(",")
+            old = self._string()
+            self.expect(",")
+            new = self._string()
+            self.expect(")")
+            _require_var(var, matches)
+            if head == "replace_prefix":
+                def prefix_expr(env, v=var, o=old, n=new):
+                    data = env[v]
+                    if data.startswith(o):
+                        return n + data[len(o):]
+                    return data
+                return prefix_expr
+            return lambda env, v=var, o=old, n=new: env[v].replace(o, n)
+        var = head
+        _require_var(var, matches)
+        if self.peek() == "+":
+            self.next()
+            other = self.next()
+            _require_var(other, matches)
+            return lambda env, a=var, b=other: env[a] + env[b]
+        return lambda env, v=var: env[v]
+
+    def _string(self) -> bytes:
+        token = self.next()
+        if not token.startswith('"'):
+            raise DslSyntaxError(f"expected string literal, got {token!r}")
+        return _unescape(token)
+
+
+def _require_var(var: str, matches: List[_MatchItem]) -> None:
+    if var not in {m.data_var for m in matches}:
+        raise DslSyntaxError(f"unbound payload variable {var!r}")
+
+
+def _require_fd_var(var: str, matches: List[_MatchItem]) -> None:
+    if var not in {m.fd_var for m in matches}:
+        raise DslSyntaxError(f"unbound fd variable {var!r}")
+
+
+def _build_rule(name: str, direction: Direction,
+                matches: List[_MatchItem],
+                conditions: List[Tuple[str, Callable[[bytes], bool]]],
+                emits: List[_EmitItem]) -> RewriteRule:
+    """Compile the parsed pieces into a RewriteRule."""
+    per_var: Dict[str, List[Callable[[bytes], bool]]] = {}
+    for var, predicate in conditions:
+        per_var.setdefault(var, []).append(predicate)
+
+    pattern = []
+    for item in matches:
+        predicates = per_var.get(item.data_var, [])
+        if predicates:
+            def combined(data, preds=tuple(predicates)):
+                return all(p(data) for p in preds)
+            pattern.append(SyscallPattern(item.syscall, predicate=combined))
+        else:
+            pattern.append(SyscallPattern(item.syscall))
+
+    fd_of = {m.fd_var: index for index, m in enumerate(matches)}
+    var_of = {m.data_var: index for index, m in enumerate(matches)}
+
+    def action(matched: List[SyscallRecord],
+               emits=tuple(emits)) -> List[SyscallRecord]:
+        env = {var: matched[index].data for var, index in var_of.items()}
+        out = []
+        for emit in emits:
+            source = matched[fd_of[emit.fd_var]]
+            data = emit.expr(env)
+            out.append(SyscallRecord(emit.syscall, fd=source.fd, data=data,
+                                     result=len(data)))
+        return out
+
+    return RewriteRule(name, pattern, action, direction)
+
+
+def parse_rules(text: str) -> List[RewriteRule]:
+    """Parse DSL ``text`` into :class:`RewriteRule` objects."""
+    return _Parser(_tokenize(text)).parse_rules()

@@ -1,0 +1,311 @@
+"""Rewrite rules: patterns over leader syscall sequences and the
+transformations that yield the follower's expected sequence.
+
+The engine consumes the leader's record stream lazily.  A rule matches a
+*prefix* of the unconsumed stream; when it fires, its action replaces the
+matched records with the follower-side expectation.  Records no rule
+touches pass through unchanged — the common case, since most syscalls are
+identical across versions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import RuleError
+from repro.syscalls.model import Sys, SyscallRecord
+
+#: Wildcard fd in a pattern.
+ANY_FD = -1
+
+
+class Direction(enum.Enum):
+    """Which MVE stage a rule applies to."""
+
+    OUTDATED_LEADER = "outdated-leader"
+    UPDATED_LEADER = "updated-leader"
+    BOTH = "both"
+
+    def active_in(self, stage: "Direction") -> bool:
+        """True when a rule tagged with this direction fires in ``stage``."""
+        if self is Direction.BOTH:
+            return True
+        return self is stage
+
+
+@dataclass(frozen=True)
+class SyscallPattern:
+    """Matches one syscall record.
+
+    ``predicate`` (if given) receives the record's payload bytes and must
+    return True for the pattern to match — this is the ``parse($(s))``
+    guard of the paper's DSL.
+    """
+
+    name: Sys
+    fd: int = ANY_FD
+    predicate: Optional[Callable[[bytes], bool]] = None
+
+    def matches(self, record: SyscallRecord) -> bool:
+        """Does ``record`` satisfy this pattern?"""
+        if record.name is not self.name:
+            return False
+        if self.fd != ANY_FD and record.fd != self.fd:
+            return False
+        if self.predicate is not None and not self.predicate(record.data):
+            return False
+        return True
+
+
+#: An action maps the matched leader records to the follower expectation.
+Action = Callable[[List[SyscallRecord]], List[SyscallRecord]]
+
+
+@dataclass
+class RewriteRule:
+    """One rewrite rule: a sequence pattern plus an action."""
+
+    name: str
+    pattern: Sequence[SyscallPattern]
+    action: Action
+    direction: Direction = Direction.OUTDATED_LEADER
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise RuleError(f"rule {self.name!r} has an empty pattern")
+
+    def matches_prefix(self, records: Sequence[SyscallRecord]) -> bool:
+        """Full match against the first ``len(pattern)`` records."""
+        if len(records) < len(self.pattern):
+            return False
+        return all(p.matches(r) for p, r in zip(self.pattern, records))
+
+    def viable(self, records: Sequence[SyscallRecord]) -> bool:
+        """Could this rule still match once more records arrive?
+
+        True when every record seen so far matches the corresponding
+        pattern position (the window may be shorter than the pattern).
+        """
+        return all(p.matches(r) for p, r in zip(self.pattern, records))
+
+    def apply(self, records: List[SyscallRecord]) -> List[SyscallRecord]:
+        """Run the action over exactly the matched records."""
+        matched = records[: len(self.pattern)]
+        rewritten = self.action(matched)
+        if rewritten is None:
+            raise RuleError(f"rule {self.name!r} action returned None")
+        return rewritten
+
+
+@dataclass
+class RuleSet:
+    """The rules registered for one update pair, both directions."""
+
+    rules: List[RewriteRule] = field(default_factory=list)
+
+    def add(self, rule: RewriteRule) -> "RuleSet":
+        self.rules.append(rule)
+        return self
+
+    def for_stage(self, stage: Direction) -> List[RewriteRule]:
+        """Rules active in ``stage``, preserving priority order."""
+        return [r for r in self.rules if r.direction.active_in(stage)]
+
+    def count(self, stage: Direction = Direction.OUTDATED_LEADER) -> int:
+        """Rule count for reporting (Table 1 counts outdated-leader rules)."""
+        return len(self.for_stage(stage))
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class RuleEngine:
+    """Lazily rewrites a leader record stream into follower expectations.
+
+    Fed raw leader records via :meth:`offer`; emits transformed records
+    via :meth:`next_expected`.  Maintains a window of records that might
+    still complete a multi-record pattern.
+    """
+
+    def __init__(self, rules: Iterable[RewriteRule]) -> None:
+        self.rules = list(rules)
+        self._window: List[SyscallRecord] = []
+        self._ready: List[SyscallRecord] = []
+        self.fired: List[str] = []
+
+    def offer(self, record: SyscallRecord) -> None:
+        """Feed one raw leader record into the engine."""
+        self._window.append(record)
+        self._reduce(flush=False)
+
+    def flush(self) -> None:
+        """No more records are coming soon; give up on partial matches."""
+        self._reduce(flush=True)
+
+    def next_expected(self) -> Optional[SyscallRecord]:
+        """Pop the next follower-expected record, if one is ready."""
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def has_ready(self) -> bool:
+        """True when :meth:`next_expected` would return a record."""
+        return bool(self._ready)
+
+    def pending_window(self) -> int:
+        """Records held back awaiting a possible multi-record match."""
+        return len(self._window)
+
+    def _reduce(self, flush: bool) -> None:
+        while self._window:
+            fired = False
+            any_viable = False
+            for rule in self.rules:
+                if rule.matches_prefix(self._window):
+                    consumed = len(rule.pattern)
+                    self._ready.extend(rule.apply(self._window))
+                    del self._window[:consumed]
+                    self.fired.append(rule.name)
+                    fired = True
+                    break
+                if rule.viable(self._window):
+                    any_viable = True
+            if fired:
+                continue
+            if any_viable and not flush:
+                # A longer pattern might still match; wait for more input.
+                return
+            # Nothing can use the head record: pass it through.
+            self._ready.append(self._window.pop(0))
+
+
+# ---------------------------------------------------------------------------
+# Rule constructors covering the paper's catalogue of divergences.
+# ---------------------------------------------------------------------------
+
+
+def redirect_read(name: str, trigger: Callable[[bytes], bool],
+                  replacement: bytes,
+                  direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """Serve the follower different input for a matching read.
+
+    This is Figure 4's Rule 1 / Figure 5: a command the leader rejected is
+    replaced by one the follower is guaranteed to reject the same way
+    (``bad-cmd``), keeping both versions' states related.
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[0].with_data(replacement)]
+
+    return RewriteRule(name, [SyscallPattern(Sys.READ, predicate=trigger)],
+                       action, direction)
+
+
+def rewrite_read(name: str, trigger: Callable[[bytes], bool],
+                 rewriter: Callable[[bytes], bytes],
+                 direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """Transform the payload the follower reads (Figure 4's Rules 2/3)."""
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[0].with_data(rewriter(matched[0].data))]
+
+    return RewriteRule(name, [SyscallPattern(Sys.READ, predicate=trigger)],
+                       action, direction)
+
+
+def rewrite_write(name: str, trigger: Callable[[bytes], bool],
+                  rewriter: Callable[[bytes], bytes],
+                  direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """Expect the follower to write different bytes than the leader did.
+
+    Used when response text intentionally changed between versions (e.g.
+    a reworded banner): the leader's write is mapped to the text the other
+    version produces.
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[0].with_data(rewriter(matched[0].data))]
+
+    return RewriteRule(name, [SyscallPattern(Sys.WRITE, predicate=trigger)],
+                       action, direction)
+
+
+def split_write(name: str, trigger: Callable[[bytes], bool],
+                splitter: Callable[[bytes], List[bytes]],
+                direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """One leader write becomes several follower writes.
+
+    The paper's canonical benign divergence: "a single system call in the
+    old version might be broken into multiple system calls in the new".
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        record = matched[0]
+        return [record.with_data(part) for part in splitter(record.data)]
+
+    return RewriteRule(name, [SyscallPattern(Sys.WRITE, predicate=trigger)],
+                       action, direction)
+
+
+def merge_writes(name: str, first: Callable[[bytes], bool],
+                 second: Callable[[bytes], bool],
+                 direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """Two leader writes become one concatenated follower write."""
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[0].with_data(matched[0].data + matched[1].data)]
+
+    return RewriteRule(
+        name,
+        [SyscallPattern(Sys.WRITE, predicate=first),
+         SyscallPattern(Sys.WRITE, predicate=second)],
+        action, direction)
+
+
+def suppress_reply(name: str, trigger: Callable[[bytes], bool],
+                   direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """The follower issues *no* reply where the leader wrote one.
+
+    For protocol extensions like Memcached's ``noreply``: the old leader
+    answers every storage command, the new follower (which understands
+    the suppression flag) stays silent — so the leader's write is simply
+    dropped from the expected stream.
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[0]]  # keep the read, drop the reply write
+
+    return RewriteRule(
+        name,
+        [SyscallPattern(Sys.READ, predicate=trigger),
+         SyscallPattern(Sys.WRITE)],
+        action, direction)
+
+
+def tolerate_extra_reply(name: str, trigger: Callable[[bytes], bool],
+                         direction: Direction = Direction.UPDATED_LEADER
+                         ) -> RewriteRule:
+    """The follower writes a reply the leader suppressed.
+
+    The reverse of :func:`suppress_reply`: the new leader (told
+    ``noreply``) records only the read; the old follower will answer
+    anyway, and its reply content is irrelevant to clients — so the rule
+    appends a *wildcard* write that matches any write the follower
+    issues.
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        wildcard = SyscallRecord(Sys.WRITE, fd=matched[0].fd,
+                                 aux={"wildcard": True})
+        return [matched[0], wildcard]
+
+    return RewriteRule(name, [SyscallPattern(Sys.READ, predicate=trigger)],
+                       action, direction)
+
+
+def swap_adjacent(name: str, first: SyscallPattern, second: SyscallPattern,
+                  direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+    """The follower issues two adjacent syscalls in the opposite order.
+
+    Needed for Redis 2.0.0 -> 2.0.1, which "reverses the order of two
+    system calls when handling client commands" (paper §5.2).
+    """
+    def action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        return [matched[1], matched[0]]
+
+    return RewriteRule(name, [first, second], action, direction)

@@ -1,0 +1,34 @@
+"""Control events carried on the ring buffer alongside syscalls.
+
+The paper's promotion/demotion (t4 in Figure 2) works by the leader
+"registering a special demotion/promotion event on the ring buffer, and
+becoming a follower immediately".  These events flow through the same
+FIFO as syscall records so the follower observes them at the right point
+in the stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ControlKind(enum.Enum):
+    """Kinds of control events."""
+
+    #: The leader demotes itself; the consuming follower becomes leader
+    #: once it has drained everything before this event.
+    PROMOTE = "promote"
+    #: The MVE session is ending; the follower should terminate cleanly.
+    TERMINATE = "terminate"
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """A non-syscall marker in the ring-buffer stream."""
+
+    kind: ControlKind
+
+    def describe(self) -> str:
+        """Log-friendly form."""
+        return f"<control:{self.kind.value}>"

@@ -1,0 +1,333 @@
+"""Syscall gateways: where server code meets the MVE monitor.
+
+Servers never call the virtual kernel directly; every syscall goes through
+a :class:`SyscallGateway`, whose *role* determines what happens:
+
+* ``DIRECT`` — execute against the kernel and trace (native execution, and
+  Varan's single-leader mode, which intercepts but does not record).
+* ``RECORDING`` — execute against the kernel, trace, and the runtime
+  pushes the trace onto the ring buffer (MVE leader).
+* ``REPLAY`` — never touch the kernel: serve results from the expected
+  record stream and flag any mismatch as a divergence (MVE follower).
+
+The gateway also accumulates the per-iteration syscall trace used for both
+ring-buffer contents and virtual-time cost accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.mve.divergence import check_drained, check_match
+from repro.net.kernel import VirtualKernel
+from repro.syscalls.model import Sys, SyscallRecord
+
+
+class GatewayRole(enum.Enum):
+    """How syscalls are executed."""
+
+    DIRECT = "direct"
+    RECORDING = "recording"
+    REPLAY = "replay"
+
+
+@dataclass
+class IterationTrace:
+    """Everything one event-loop iteration did, for accounting."""
+
+    records: List[SyscallRecord] = field(default_factory=list)
+    requests_handled: int = 0
+    bytes_transferred: int = 0
+
+    def syscall_count(self) -> int:
+        return len(self.records)
+
+
+class SyscallGateway:
+    """One process's syscall interface, in one of the three roles."""
+
+    def __init__(self, kernel: VirtualKernel, domain: int,
+                 role: GatewayRole = GatewayRole.DIRECT) -> None:
+        self.kernel = kernel
+        self.domain = domain
+        self.role = role
+        self.trace = IterationTrace()
+        #: REPLAY role: yields the next expected record, or None when the
+        #: per-iteration expected stream is exhausted.
+        self.expected_source: Optional[Callable[[], Optional[SyscallRecord]]] = None
+        self._peeked: Optional[SyscallRecord] = None
+
+    # -- iteration bookkeeping ------------------------------------------------
+
+    def begin_iteration(self) -> None:
+        """Reset the trace for a new event-loop iteration."""
+        self.trace = IterationTrace()
+
+    def note_request(self, count: int = 1) -> None:
+        """Server code reports a fully parsed client request."""
+        self.trace.requests_handled += count
+
+    def finish_iteration(self) -> IterationTrace:
+        """Close out the iteration; REPLAY role verifies full drain."""
+        if self.role is GatewayRole.REPLAY:
+            leftover = []
+            record = self._peek_expected()
+            if record is not None:
+                leftover.append(record)
+            check_drained(leftover)
+        return self.trace
+
+    # -- replay plumbing --------------------------------------------------------
+
+    def _peek_expected(self) -> Optional[SyscallRecord]:
+        if self._peeked is None and self.expected_source is not None:
+            self._peeked = self.expected_source()
+        return self._peeked
+
+    def _take_expected(self) -> Optional[SyscallRecord]:
+        record = self._peek_expected()
+        self._peeked = None
+        return record
+
+    def _replay(self, actual: SyscallRecord) -> SyscallRecord:
+        """Match ``actual`` against the stream; returns the expected record."""
+        expected = self._take_expected()
+        check_match(expected, actual)
+        return expected
+
+    def _emit(self, record: SyscallRecord) -> SyscallRecord:
+        self.trace.records.append(record)
+        if record.name in (Sys.READ, Sys.WRITE):
+            self.trace.bytes_transferred += len(record.data)
+        return record
+
+    # -- sockets ------------------------------------------------------------------
+
+    def epoll_wait(self, epfd: int) -> List[int]:
+        """Ready fds; followers receive the leader's recorded ready set."""
+        if self.role is GatewayRole.REPLAY:
+            actual = SyscallRecord(Sys.EPOLL_WAIT, fd=epfd)
+            expected = self._replay(actual)
+            self._emit(expected)
+            return list(expected.result)
+        ready = self.kernel.epoll_wait(self.domain, epfd)
+        self._emit(SyscallRecord(Sys.EPOLL_WAIT, fd=epfd, result=tuple(ready)))
+        return ready
+
+    def epoll_ctl(self, epfd: int, fd: int, *, add: bool) -> None:
+        """Kernel-state tracking only; Varan does not log epoll_ctl."""
+        if self.role is GatewayRole.REPLAY:
+            return
+        self.kernel.epoll_ctl(self.domain, epfd, fd, add=add)
+
+    def connect(self, address) -> int:
+        """Open an outbound connection (FTP active mode, replication).
+
+        Recorded so followers learn the fd; only the leader actually
+        dials the peer.
+        """
+        payload = f"{address[0]}:{address[1]}".encode()
+        if self.role is GatewayRole.REPLAY:
+            actual = SyscallRecord(Sys.CONNECT, data=payload)
+            expected = self._replay(actual)
+            self._emit(expected)
+            return int(expected.result)
+        fd = self.kernel.connect(self.domain, tuple(address))
+        self._emit(SyscallRecord(Sys.CONNECT, data=payload, result=fd))
+        return fd
+
+    def listen(self, address) -> int:
+        """socket+bind+listen (one recorded syscall, e.g. FTP PASV ports).
+
+        Followers learn the fd from the record; the port number must be
+        deterministic server state so both versions' replies agree.
+        """
+        payload = f"{address[0]}:{address[1]}".encode()
+        if self.role is GatewayRole.REPLAY:
+            actual = SyscallRecord(Sys.LISTEN, data=payload)
+            expected = self._replay(actual)
+            self._emit(expected)
+            return int(expected.result)
+        fd = self.kernel.listen(self.domain, tuple(address))
+        self._emit(SyscallRecord(Sys.LISTEN, data=payload, result=fd))
+        return fd
+
+    def accept(self, listen_fd: int) -> int:
+        """Accept a connection; followers learn the fd from the record."""
+        if self.role is GatewayRole.REPLAY:
+            actual = SyscallRecord(Sys.ACCEPT, fd=listen_fd)
+            expected = self._replay(actual)
+            self._emit(expected)
+            return int(expected.result)
+        fd = self.kernel.accept(self.domain, listen_fd)
+        self._emit(SyscallRecord(Sys.ACCEPT, fd=listen_fd, result=fd))
+        return fd
+
+    def read(self, fd: int, max_bytes: Optional[int] = None) -> bytes:
+        """Read from a stream; followers get the leader's bytes (possibly
+        rewritten by rules)."""
+        if self.role is GatewayRole.REPLAY:
+            actual = SyscallRecord(Sys.READ, fd=fd)
+            expected = self._take_expected()
+            # Reads match on (name, fd) only: the *data* is an input the
+            # leader received, served to the follower as-is.
+            if expected is None or expected.name is not Sys.READ \
+                    or expected.fd != fd:
+                check_match(expected, actual)
+            self._emit(expected)
+            return expected.data
+        data = self.kernel.read(self.domain, fd, max_bytes)
+        self._emit(SyscallRecord(Sys.READ, fd=fd, data=data, result=len(data)))
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write to a stream; follower writes are compared, not executed."""
+        actual = SyscallRecord(Sys.WRITE, fd=fd, data=data, result=len(data))
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return len(data)
+        self.kernel.write(self.domain, fd, data)
+        self._emit(actual)
+        return len(data)
+
+    def close(self, fd: int) -> None:
+        """Close an fd; recorded so both versions agree on session ends."""
+        actual = SyscallRecord(Sys.CLOSE, fd=fd)
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.close(self.domain, fd)
+        self._emit(actual)
+
+    # -- filesystem ------------------------------------------------------------
+
+    def fs_read(self, path: str) -> bytes:
+        """Open+read a whole file (one OPEN record, one READ record)."""
+        path_bytes = path.encode()
+        if self.role is GatewayRole.REPLAY:
+            self._emit(self._replay(SyscallRecord(Sys.OPEN, data=path_bytes)))
+            expected = self._take_expected()
+            actual = SyscallRecord(Sys.READ, fd=-2)
+            if expected is None or expected.name is not Sys.READ:
+                check_match(expected, actual)
+            self._emit(expected)
+            return expected.data
+        data = self.kernel.fs.read_file(path)
+        self._emit(SyscallRecord(Sys.OPEN, data=path_bytes, result=0))
+        self._emit(SyscallRecord(Sys.READ, fd=-2, data=data, result=len(data)))
+        return data
+
+    def fs_write(self, path: str, data: bytes) -> None:
+        """Create/overwrite a file (one OPEN record, one WRITE record)."""
+        path_bytes = path.encode()
+        if self.role is GatewayRole.REPLAY:
+            self._emit(self._replay(SyscallRecord(Sys.OPEN, data=path_bytes)))
+            self._emit(self._replay(
+                SyscallRecord(Sys.WRITE, fd=-2, data=data, result=len(data))))
+            return
+        self.kernel.fs.write_file(path, data)
+        self._emit(SyscallRecord(Sys.OPEN, data=path_bytes, result=0))
+        self._emit(SyscallRecord(Sys.WRITE, fd=-2, data=data, result=len(data)))
+
+    def fs_append(self, path: str, data: bytes) -> None:
+        """Append to a file (one WRITE record on the append-log fd).
+
+        Used for Redis's append-only file: a single recorded write, which
+        is what the 2.0.0 -> 2.0.1 syscall-order rule reorders against
+        the client-reply write.
+        """
+        actual = SyscallRecord(Sys.WRITE, fd=-3, data=data, result=len(data))
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.fs.append_file(path, data)
+        self._emit(actual)
+
+    def fs_unlink(self, path: str) -> None:
+        """Delete a file."""
+        actual = SyscallRecord(Sys.UNLINK, data=path.encode(), result=0)
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.fs.unlink(path)
+        self._emit(actual)
+
+    def fs_rename(self, src: str, dst: str) -> None:
+        """Atomically rename a file."""
+        payload = f"{src}\x00{dst}".encode()
+        actual = SyscallRecord(Sys.RENAME, data=payload, result=0)
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.fs.rename(src, dst)
+        self._emit(actual)
+
+    def fs_stat(self, path: str) -> Optional[int]:
+        """File size, or None when absent (shared namespace, untraced in
+        followers via replay of the leader's answer)."""
+        actual = SyscallRecord(Sys.STAT, data=path.encode())
+        if self.role is GatewayRole.REPLAY:
+            expected = self._take_expected()
+            if expected is None or expected.name is not Sys.STAT:
+                check_match(expected, actual)
+            self._emit(expected)
+            return expected.result
+        result = (self.kernel.fs.size(path)
+                  if self.kernel.fs.exists(path) else None)
+        self._emit(SyscallRecord(Sys.STAT, data=path.encode(), result=result))
+        return result
+
+    def fs_mkdir(self, path: str) -> None:
+        """Create a directory."""
+        actual = SyscallRecord(Sys.MKDIR, data=path.encode(), result=0)
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.fs.mkdir(path)
+        self._emit(actual)
+
+    def fs_rmdir(self, path: str) -> None:
+        """Remove an (empty) directory."""
+        actual = SyscallRecord(Sys.RMDIR, data=path.encode(), result=0)
+        if self.role is GatewayRole.REPLAY:
+            self._replay(actual)
+            self._emit(actual)
+            return
+        self.kernel.fs.rmdir(path)
+        self._emit(actual)
+
+    def fs_is_dir(self, path: str) -> bool:
+        """Directory check, replayed to followers like stat."""
+        actual = SyscallRecord(Sys.STAT, data=("d:" + path).encode())
+        if self.role is GatewayRole.REPLAY:
+            expected = self._take_expected()
+            if expected is None or expected.name is not Sys.STAT:
+                check_match(expected, actual)
+            self._emit(expected)
+            return bool(expected.result)
+        result = self.kernel.fs.is_dir(path)
+        self._emit(SyscallRecord(Sys.STAT, data=("d:" + path).encode(),
+                                 result=result))
+        return result
+
+    def fs_listdir(self, path: str) -> List[str]:
+        """Directory listing, replayed to followers like stat."""
+        actual = SyscallRecord(Sys.STAT, data=(path + "/").encode())
+        if self.role is GatewayRole.REPLAY:
+            expected = self._take_expected()
+            if expected is None or expected.name is not Sys.STAT:
+                check_match(expected, actual)
+            self._emit(expected)
+            return list(expected.result)
+        result = tuple(self.kernel.fs.listdir(path))
+        self._emit(SyscallRecord(Sys.STAT, data=(path + "/").encode(),
+                                 result=result))
+        return list(result)

@@ -1,0 +1,109 @@
+"""The shared ring buffer between leader and followers.
+
+The leader appends one entry per intercepted syscall; followers consume in
+FIFO order.  The buffer is bounded: when it fills, the leader *blocks*
+until the follower frees a slot — the mechanism behind Figure 7, where a
+2^10-entry buffer turns a background update into a multi-second service
+pause while a 2^24-entry buffer masks it entirely.
+
+Entries carry their produce timestamp so replay can respect causality
+(a follower cannot consume an entry before it was produced).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Union
+
+from repro.errors import SimulationError
+from repro.mve.events import ControlEvent
+from repro.syscalls.model import SyscallRecord
+
+#: What one slot can hold.
+Payload = Union[SyscallRecord, ControlEvent]
+
+
+@dataclass(frozen=True)
+class RingEntry:
+    """One occupied slot."""
+
+    payload: Payload
+    produced_at: int
+    sequence: int
+
+
+class RingBuffer:
+    """Bounded FIFO with producer back-pressure.
+
+    ``push`` raises :class:`BufferFull` rather than blocking; the MVE
+    runtime catches it, advances the follower far enough to free a slot,
+    and retries — that dance is what converts a slow follower into leader
+    latency.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"ring buffer capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[RingEntry] = deque()
+        self._produced = 0
+        self._consumed = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def produced_total(self) -> int:
+        """Entries pushed over the buffer's lifetime."""
+        return self._produced
+
+    @property
+    def consumed_total(self) -> int:
+        """Entries popped over the buffer's lifetime."""
+        return self._consumed
+
+    def is_full(self) -> bool:
+        """True when a push would block the leader."""
+        return len(self._entries) >= self.capacity
+
+    def is_empty(self) -> bool:
+        """True when the follower has fully caught up."""
+        return not self._entries
+
+    def push(self, payload: Payload, produced_at: int) -> RingEntry:
+        """Append an entry; raises :class:`BufferFull` when at capacity."""
+        if self.is_full():
+            raise BufferFull(self.capacity)
+        entry = RingEntry(payload, produced_at, self._produced)
+        self._entries.append(entry)
+        self._produced += 1
+        self.high_watermark = max(self.high_watermark, len(self._entries))
+        return entry
+
+    def peek(self, index: int = 0) -> Optional[RingEntry]:
+        """Look at the ``index``-th unconsumed entry without removing it."""
+        if index < len(self._entries):
+            return self._entries[index]
+        return None
+
+    def pop(self) -> RingEntry:
+        """Consume the oldest entry."""
+        if not self._entries:
+            raise SimulationError("pop from empty ring buffer")
+        self._consumed += 1
+        return self._entries.popleft()
+
+    def clear(self) -> None:
+        """Drop all entries (used when a follower is terminated)."""
+        self._consumed += len(self._entries)
+        self._entries.clear()
+
+
+class BufferFull(SimulationError):
+    """Raised by ``push`` when the buffer is at capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(f"ring buffer full ({capacity} entries)")
+        self.capacity = capacity

@@ -1,0 +1,421 @@
+"""The MVE runtime (Varan analogue).
+
+One :class:`VaranRuntime` supervises an MVE group: a leader executing
+against the virtual kernel and (optionally) one follower replaying the
+leader's syscall stream through the ring buffer and rewrite rules.
+
+Responsibilities, matching the paper's description of Varan plus the
+extensions Mvedsua made to it (§4):
+
+* **single-leader mode** — syscall interception with kernel-state
+  tracking but no recording; the steady-state of a Mvedsua deployment.
+* **fork** — create a follower as a copy of the leader at quiescence.
+* **leader serving** — execute iterations, register records on the ring
+  buffer, and *block* when the buffer fills until the follower frees
+  slots (the source of Figure 7's latency dynamics).
+* **follower replay** — re-execute iterations against the expected
+  stream (leader records after rewrite rules), detecting divergences.
+* **promotion/demotion** — swap roles via a control event in the stream.
+* **failure policy** — terminate the diverging or crashed process and
+  continue with the survivor as sole leader (the paper's recovery story
+  for both new-version and old-version errors).
+
+Virtual-time accounting: the leader and follower own separate CPUs.
+Leader iterations charge leader time (with the mode's overhead factors);
+records are pushed at leader completion times; follower replay charges
+follower time, starting no earlier than the records' produce times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import DivergenceError, ServerCrash, SimulationError
+from repro.mve.dsl.rules import Direction, RuleEngine, RuleSet
+from repro.mve.events import ControlEvent, ControlKind
+from repro.mve.gateway import GatewayRole, IterationTrace, SyscallGateway
+from repro.mve.ring_buffer import BufferFull, RingBuffer
+from repro.net.kernel import VirtualKernel
+from repro.net.sockets import Endpoint
+from repro.sim.process import CpuAccount
+from repro.syscalls.costs import AppProfile, ExecutionMode, FORK_PAUSE_NS
+from repro.syscalls.model import Sys, SyscallRecord
+
+
+@dataclass
+class IterationDescriptor:
+    """Bookkeeping for one leader iteration awaiting follower replay."""
+
+    n_records: int
+    requests: int
+    control: Optional[ControlEvent] = None
+
+
+@dataclass
+class RuntimeEvent:
+    """One entry in the runtime's event log (consumed by tests/reports)."""
+
+    at: int
+    kind: str
+    detail: str = ""
+
+
+class ManagedProcess:
+    """One version under MVE supervision: server + CPU + gateway."""
+
+    def __init__(self, server: Any, gateway: SyscallGateway,
+                 cpu: CpuAccount, label: str) -> None:
+        self.server = server
+        self.gateway = gateway
+        self.cpu = cpu
+        self.label = label
+        self.crashed = False
+
+    @property
+    def version_name(self) -> str:
+        return self.server.version.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ManagedProcess {self.label} {self.version_name}>"
+
+
+class VaranRuntime:
+    """Supervises one MVE group over one kernel domain."""
+
+    def __init__(self, kernel: VirtualKernel, server: Any,
+                 profile: AppProfile, *,
+                 ring_capacity: int = 256,
+                 with_kitsune: bool = True,
+                 rules: Optional[RuleSet] = None) -> None:
+        self.kernel = kernel
+        self.profile = profile
+        self.ring = RingBuffer(ring_capacity)
+        self.rules = rules if rules is not None else RuleSet()
+        self.with_kitsune = with_kitsune
+        self.domain = server.domain
+        gateway = SyscallGateway(kernel, self.domain, GatewayRole.DIRECT)
+        server.bind_gateway(gateway)
+        self.leader = ManagedProcess(server, gateway, CpuAccount("leader"),
+                                     "leader")
+        self.follower: Optional[ManagedProcess] = None
+        #: Which stage's rules apply to follower replay.
+        self.stage_direction = Direction.OUTDATED_LEADER
+        #: True once the *new* version is the leader (post-promotion).
+        self.leader_is_updated = False
+        self._iterations: Deque[IterationDescriptor] = deque()
+        self.events: List[RuntimeEvent] = []
+        self.rules_fired: List[str] = []
+        self.last_divergence: Optional[DivergenceError] = None
+        #: Optional callback invoked with every RuntimeEvent as it is
+        #: logged; the Mvedsua orchestrator subscribes to track stages.
+        self.observer = None
+        #: (completion_time, requests_handled) per leader iteration; the
+        #: workload layer samples this for latency measurements.
+        self.completions: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def in_mve_mode(self) -> bool:
+        """True while a follower is attached (leader-follower mode)."""
+        return self.follower is not None
+
+    def leader_mode(self) -> ExecutionMode:
+        """Cost-model mode for leader execution right now."""
+        if self.in_mve_mode:
+            return (ExecutionMode.MVEDSUA_LEADER if self.with_kitsune
+                    else ExecutionMode.VARAN_LEADER)
+        return (ExecutionMode.MVEDSUA_SINGLE if self.with_kitsune
+                else ExecutionMode.VARAN_SINGLE)
+
+    def log(self, at: int, kind: str, detail: str = "") -> None:
+        """Append to the runtime event log (and notify any observer)."""
+        event = RuntimeEvent(at, kind, detail)
+        self.events.append(event)
+        if self.observer is not None:
+            self.observer(event)
+
+    def event_kinds(self) -> List[str]:
+        """Just the kinds, in order — convenient for assertions."""
+        return [event.kind for event in self.events]
+
+    # ------------------------------------------------------------------
+    # Leader serving
+    # ------------------------------------------------------------------
+
+    def pump(self, now: int) -> int:
+        """Run leader iterations until no input is ready.
+
+        Returns the virtual time at which the leader finished.  Crashes
+        and divergences are handled by the failure policy; after a crash
+        the surviving process carries on within the same call.
+        """
+        t = max(now, self.leader.cpu.busy_until)
+        while True:
+            if self.leader.crashed:
+                raise ServerCrash("leader crashed with no survivor")
+            ready = self.kernel.epoll_wait(self.domain,
+                                           self.leader.server.epoll_fd)
+            if not ready:
+                break
+            t = self._run_leader_iteration(max(now, t))
+        return t
+
+    def _run_leader_iteration(self, start: int) -> int:
+        leader = self.leader
+        gateway = leader.gateway
+        gateway.begin_iteration()
+        crash: Optional[ServerCrash] = None
+        try:
+            leader.server.run_iteration(gateway)
+        except ServerCrash as exc:
+            crash = exc
+        trace = gateway.trace
+        cost = self.iteration_cost(trace, self.leader_mode())
+        completion = leader.cpu.charge(start, cost)
+        if crash is not None:
+            self.log(completion, "leader-crash", str(crash))
+            return self._handle_leader_crash(completion, trace)
+        if self.in_mve_mode:
+            completion = self._publish_iteration(trace, completion)
+            leader.cpu.block_until(completion)
+        self.completions.append((completion, trace.requests_handled))
+        return completion
+
+    def _publish_iteration(self, trace: IterationTrace, at: int) -> int:
+        """Push an iteration's records onto the ring buffer."""
+        t = at
+        for record in trace.records:
+            if self.follower is None:
+                return t  # follower died while we were blocked
+            t = self._push_with_backpressure(record, t)
+        if self.follower is not None:
+            self._iterations.append(IterationDescriptor(
+                n_records=len(trace.records),
+                requests=trace.requests_handled))
+        return t
+
+    def _push_with_backpressure(self, payload, t: int) -> int:
+        while True:
+            if self.follower is None:
+                return t
+            try:
+                self.ring.push(payload, t)
+                return t
+            except BufferFull:
+                freed_at = self._replay_one()
+                if freed_at is None:
+                    raise SimulationError(
+                        "ring buffer cannot hold one leader iteration "
+                        f"(capacity {self.ring.capacity})")
+                t = max(t, freed_at)
+
+    def iteration_cost(self, trace: IterationTrace,
+                       mode: ExecutionMode) -> int:
+        """Virtual CPU cost of one iteration in ``mode``."""
+        return self.profile.iteration_cost_ns(
+            mode, n_requests=trace.requests_handled,
+            n_syscalls=len(trace.records),
+            n_bytes=trace.bytes_transferred)
+
+    # ------------------------------------------------------------------
+    # Fork and follower replay
+    # ------------------------------------------------------------------
+
+    def fork_follower(self, now: int, *,
+                      server: Optional[Any] = None) -> ManagedProcess:
+        """Fork the leader into a follower at quiescence.
+
+        ``server`` overrides the forked copy (used by Mvedsua, which
+        forks and then dynamically updates the child); by default the
+        follower is an identical copy — plain Varan's N-version mode.
+
+        The leader pays a copy-on-write fork pause.  Returns the new
+        follower; the follower's CPU becomes available at fork time.
+        """
+        if self.follower is not None:
+            raise SimulationError("an MVE follower is already attached")
+        fork_done = self.leader.cpu.charge(now, FORK_PAUSE_NS)
+        forked = server if server is not None else self.leader.server.fork()
+        gateway = SyscallGateway(self.kernel, self.domain, GatewayRole.REPLAY)
+        forked.bind_gateway(gateway)
+        cpu = self.leader.cpu.fork("follower", at=fork_done)
+        self.follower = ManagedProcess(forked, gateway, cpu, "follower")
+        self.log(fork_done, "fork", forked.version.name)
+        return self.follower
+
+    def drain_follower(self, *, max_iterations: Optional[int] = None) -> Optional[int]:
+        """Replay queued iterations on the follower.
+
+        Returns the follower's completion time of the last replayed
+        iteration, or None when nothing was replayed.
+        """
+        last = None
+        replayed = 0
+        while self._iterations and self.follower is not None:
+            if max_iterations is not None and replayed >= max_iterations:
+                break
+            last = self._replay_one()
+            replayed += 1
+        return last
+
+    def _replay_one(self) -> Optional[int]:
+        """Replay one queued iteration; returns its completion time."""
+        if not self._iterations or self.follower is None:
+            return None
+        descriptor = self._iterations.popleft()
+        if descriptor.control is not None:
+            entry = self.ring.pop()
+            swap_at = max(self.follower.cpu.busy_until, entry.produced_at)
+            if descriptor.control.kind is ControlKind.PROMOTE:
+                self._swap_roles(swap_at)
+            return swap_at
+
+        entries = [self.ring.pop() for _ in range(descriptor.n_records)]
+        ready_at = max((entry.produced_at for entry in entries), default=0)
+        expected = self._rewrite(entry.payload for entry in entries)
+
+        follower = self.follower
+        gateway = follower.gateway
+        queue = deque(expected)
+        gateway.expected_source = lambda: queue.popleft() if queue else None
+        gateway.begin_iteration()
+        try:
+            follower.server.run_iteration(gateway)
+            gateway.finish_iteration()
+        except DivergenceError as divergence:
+            self.last_divergence = divergence
+            at = max(follower.cpu.busy_until, ready_at)
+            self.log(at, "divergence", str(divergence))
+            self._terminate_process(follower, at, reason="divergence")
+            return at
+        except ServerCrash as crash:
+            follower.crashed = True
+            at = max(follower.cpu.busy_until, ready_at)
+            self.log(at, "follower-crash", str(crash))
+            self._terminate_process(follower, at, reason="crash")
+            return at
+        cost = self.iteration_cost(gateway.trace, ExecutionMode.FOLLOWER)
+        start = max(follower.cpu.busy_until, ready_at)
+        return follower.cpu.charge(start, cost)
+
+    def _rewrite(self, payloads) -> List[SyscallRecord]:
+        """Run one iteration's leader records through the stage rules."""
+        engine = RuleEngine(self.rules.for_stage(self.stage_direction))
+        out: List[SyscallRecord] = []
+        for payload in payloads:
+            engine.offer(payload)
+            while engine.has_ready():
+                out.append(engine.next_expected())
+        engine.flush()
+        while engine.has_ready():
+            out.append(engine.next_expected())
+        self.rules_fired.extend(engine.fired)
+        return out
+
+    # ------------------------------------------------------------------
+    # Promotion, termination, failure policy
+    # ------------------------------------------------------------------
+
+    def promote(self, now: int) -> int:
+        """Swap leader and follower (the paper's t4 -> t5 transition).
+
+        The leader registers a promotion event and stops serving; the
+        follower drains the buffer, observes the event, and takes over.
+        Returns t5, when the new leader resumes service.
+        """
+        if self.follower is None:
+            raise SimulationError("no follower to promote")
+        start = max(now, self.leader.cpu.busy_until)
+        self._push_with_backpressure(ControlEvent(ControlKind.PROMOTE), start)
+        self._iterations.append(IterationDescriptor(
+            n_records=1, requests=0,
+            control=ControlEvent(ControlKind.PROMOTE)))
+        self.log(start, "demote-requested")
+        last = None
+        while self._iterations and self.follower is not None:
+            last = self._replay_one()
+        return last if last is not None else start
+
+    def _swap_roles(self, at: int) -> None:
+        old_leader, new_leader = self.leader, self.follower
+        assert new_leader is not None
+        old_leader.gateway.role = GatewayRole.REPLAY
+        old_leader.label = "follower"
+        new_leader.gateway.role = GatewayRole.DIRECT
+        new_leader.label = "leader"
+        new_leader.cpu.block_until(at)
+        self.leader, self.follower = new_leader, old_leader
+        self.stage_direction = Direction.UPDATED_LEADER
+        self.leader_is_updated = True
+        self.log(at, "promoted", new_leader.version_name)
+
+    def finalize(self, now: int) -> int:
+        """Terminate the follower and return to single-leader mode (t6)."""
+        if self.follower is None:
+            raise SimulationError("no follower to finalize")
+        self.drain_follower()
+        if self.follower is not None:
+            at = max(now, self.follower.cpu.busy_until)
+            self._terminate_process(self.follower, at, reason="finalize")
+            return at
+        return now
+
+    def terminate_follower(self, now: int, reason: str = "operator") -> int:
+        """Explicitly drop the follower (operator-initiated rollback)."""
+        if self.follower is None:
+            raise SimulationError("no follower to terminate")
+        at = max(now, self.follower.cpu.busy_until)
+        self._terminate_process(self.follower, at, reason=reason)
+        return at
+
+    def _terminate_process(self, process: ManagedProcess, at: int,
+                           reason: str) -> None:
+        """Drop ``process`` from the group; survivor becomes sole leader."""
+        if process is self.follower:
+            self.follower = None
+            self.ring.clear()
+            self._iterations.clear()
+            self.log(at, "follower-terminated", reason)
+        else:  # pragma: no cover - leader termination goes via crash path
+            raise SimulationError("cannot terminate the leader directly")
+
+    def _handle_leader_crash(self, at: int, trace: IterationTrace) -> int:
+        """The paper's old-version-error recovery: promote the follower."""
+        self.leader.crashed = True
+        if self.follower is None or self.follower.crashed:
+            raise ServerCrash("leader crashed with no healthy follower",
+                              pid=self.domain)
+        # Let the follower catch up on everything before the crash.
+        self.drain_follower()
+        if self.follower is None:
+            raise ServerCrash("follower died during crash recovery",
+                              pid=self.domain)
+        survivor = self.follower
+        at = max(at, survivor.cpu.busy_until)
+        # Re-deliver the input the crashed leader had consumed so the
+        # promoted process can serve it.
+        self._redeliver_reads(trace)
+        survivor.gateway.role = GatewayRole.DIRECT
+        survivor.label = "leader"
+        survivor.cpu.block_until(at)
+        self.leader = survivor
+        self.follower = None
+        self.ring.clear()
+        self._iterations.clear()
+        self.leader_is_updated = True
+        self.log(at, "follower-promoted-after-crash")
+        return at
+
+    def _redeliver_reads(self, trace: IterationTrace) -> None:
+        for record in reversed(trace.records):
+            if record.name is Sys.READ and record.fd >= 0 and record.data:
+                if self.kernel.is_open(self.domain, record.fd):
+                    domain_obj = self.kernel._domain(self.domain)
+                    endpoint = domain_obj.lookup(record.fd)
+                    if isinstance(endpoint, Endpoint):
+                        endpoint.unread(record.data)

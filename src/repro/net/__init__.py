@@ -1,0 +1,27 @@
+"""Virtual kernel: sockets, epoll, and a small filesystem.
+
+The servers in this reproduction issue the same syscall sequences their C
+counterparts would, but against this in-process kernel.  File descriptors,
+listening sockets, byte-stream connections, epoll sets, and files are all
+plain Python objects; the MVE layer (``repro.mve``) sits between servers
+and this kernel exactly where Varan sits between real servers and Linux.
+
+Fd tables are keyed by *domain*.  A native server owns its own domain; an
+MVE group (leader + followers) shares one domain, which is how Varan's
+kernel-state tracking lets a promoted follower adopt the leader's open
+descriptors without re-establishing connections.
+"""
+
+from repro.net.kernel import VirtualKernel
+from repro.net.sockets import Connection, Endpoint, ListeningSocket
+from repro.net.epoll import EpollSet
+from repro.net.filesystem import VirtualFilesystem
+
+__all__ = [
+    "VirtualKernel",
+    "Connection",
+    "Endpoint",
+    "ListeningSocket",
+    "EpollSet",
+    "VirtualFilesystem",
+]

@@ -1,0 +1,37 @@
+"""Epoll sets over virtual fds."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class EpollSet:
+    """Registered-interest set for one epoll instance.
+
+    Readiness is level-triggered, matching how the simulated servers (and
+    LibEvent) use epoll.  Registration order is preserved because LibEvent's
+    round-robin dispatch — the source of Memcached's spurious divergences in
+    the paper — depends on a stable iteration order.
+    """
+
+    def __init__(self, epfd: int) -> None:
+        self.epfd = epfd
+        self._interest: Dict[int, None] = {}
+
+    def add(self, fd: int) -> None:
+        """Register interest in ``fd`` (idempotent)."""
+        self._interest.setdefault(fd, None)
+
+    def remove(self, fd: int) -> None:
+        """Drop interest in ``fd`` (idempotent)."""
+        self._interest.pop(fd, None)
+
+    def interest(self) -> List[int]:
+        """All registered fds, in registration order."""
+        return list(self._interest)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._interest
+
+    def __len__(self) -> int:
+        return len(self._interest)

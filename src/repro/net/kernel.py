@@ -1,0 +1,204 @@
+"""The virtual kernel: fd tables, sockets, epoll, filesystem.
+
+Fd tables are keyed by *domain id*.  A native server owns a private
+domain; an MVE group shares one domain across leader and followers (only
+the current leader actually calls into the kernel — this mirrors Varan's
+kernel-state tracking, and makes follower promotion a pure role swap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import BadFileDescriptor, KernelError
+from repro.net.epoll import EpollSet
+from repro.net.filesystem import VirtualFilesystem
+from repro.net.sockets import Connection, Endpoint, ListeningSocket
+
+#: Anything an fd can refer to.
+FdObject = Union[Endpoint, ListeningSocket, EpollSet]
+
+
+class _Domain:
+    """One fd namespace."""
+
+    def __init__(self, domain_id: int) -> None:
+        self.domain_id = domain_id
+        self.fds: Dict[int, FdObject] = {}
+        self.endpoint_conn: Dict[int, Connection] = {}
+        self._next_fd = 3  # 0/1/2 reserved, as on a real system
+
+    def alloc(self, obj: FdObject) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self.fds[fd] = obj
+        return fd
+
+    def lookup(self, fd: int) -> FdObject:
+        try:
+            return self.fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(
+                f"fd {fd} not open in domain {self.domain_id}"
+            ) from None
+
+
+class VirtualKernel:
+    """All kernel state for one simulated machine."""
+
+    def __init__(self) -> None:
+        self.fs = VirtualFilesystem()
+        self._domains: Dict[int, _Domain] = {}
+        self._listeners: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self._next_domain = 1
+
+    # -- domains -----------------------------------------------------------
+
+    def create_domain(self) -> int:
+        """Allocate a fresh fd namespace; returns its id."""
+        domain_id = self._next_domain
+        self._next_domain += 1
+        self._domains[domain_id] = _Domain(domain_id)
+        return domain_id
+
+    def _domain(self, domain_id: int) -> _Domain:
+        try:
+            return self._domains[domain_id]
+        except KeyError:
+            raise KernelError(f"unknown domain {domain_id}") from None
+
+    # -- sockets -----------------------------------------------------------
+
+    def listen(self, domain_id: int, address: Tuple[str, int]) -> int:
+        """socket+bind+listen in one step; returns the listening fd."""
+        if address in self._listeners:
+            raise KernelError(f"address in use: {address}")
+        domain = self._domain(domain_id)
+        sock = ListeningSocket(address)
+        fd = domain.alloc(sock)
+        self._listeners[address] = (domain_id, fd)
+        return fd
+
+    def connect(self, domain_id: int, address: Tuple[str, int]) -> int:
+        """Connect to a listening address; returns the client-side fd.
+
+        The connection is queued on the listener's backlog until the server
+        accepts it.
+        """
+        if address not in self._listeners:
+            raise KernelError(f"connection refused: {address}")
+        listener_domain_id, listener_fd = self._listeners[address]
+        listener = self._domains[listener_domain_id].fds[listener_fd]
+        assert isinstance(listener, ListeningSocket)
+        if not listener.open:
+            raise KernelError(f"connection refused: {address}")
+        connection = Connection()
+        listener.enqueue(connection)
+        domain = self._domain(domain_id)
+        fd = domain.alloc(connection.client)
+        domain.endpoint_conn[fd] = connection
+        return fd
+
+    def accept(self, domain_id: int, listen_fd: int) -> int:
+        """Accept a pending connection; returns the server-side fd."""
+        domain = self._domain(domain_id)
+        listener = domain.lookup(listen_fd)
+        if not isinstance(listener, ListeningSocket):
+            raise KernelError(f"fd {listen_fd} is not a listening socket")
+        if not listener.has_pending():
+            raise KernelError("accept would block: empty backlog")
+        connection = listener.accept()
+        fd = domain.alloc(connection.server)
+        domain.endpoint_conn[fd] = connection
+        return fd
+
+    def read(self, domain_id: int, fd: int, max_bytes: Optional[int] = None) -> bytes:
+        """Read buffered bytes; ``b""`` means EOF."""
+        domain = self._domain(domain_id)
+        endpoint = domain.lookup(fd)
+        if not isinstance(endpoint, Endpoint):
+            raise KernelError(f"fd {fd} is not a stream")
+        return endpoint.read(max_bytes)
+
+    def write(self, domain_id: int, fd: int, data: bytes) -> int:
+        """Write bytes to the peer; returns the byte count."""
+        domain = self._domain(domain_id)
+        endpoint = domain.lookup(fd)
+        if not isinstance(endpoint, Endpoint):
+            raise KernelError(f"fd {fd} is not a stream")
+        connection = domain.endpoint_conn[fd]
+        return connection.write(endpoint, data)
+
+    def close(self, domain_id: int, fd: int) -> None:
+        """Close any fd; streams signal EOF to their peer."""
+        domain = self._domain(domain_id)
+        obj = domain.lookup(fd)
+        if isinstance(obj, Endpoint):
+            connection = domain.endpoint_conn.pop(fd)
+            connection.close(obj)
+        elif isinstance(obj, ListeningSocket):
+            obj.open = False
+            self._listeners.pop(obj.address, None)
+        del domain.fds[fd]
+        for epoll in domain.fds.values():
+            if isinstance(epoll, EpollSet):
+                epoll.remove(fd)
+
+    def is_open(self, domain_id: int, fd: int) -> bool:
+        """True when ``fd`` is open in the domain."""
+        return fd in self._domain(domain_id).fds
+
+    # -- epoll ---------------------------------------------------------------
+
+    def epoll_create(self, domain_id: int) -> int:
+        """New epoll instance; returns its fd."""
+        domain = self._domain(domain_id)
+        fd_holder: List[int] = []
+        epoll = EpollSet(epfd=-1)
+        fd = domain.alloc(epoll)
+        epoll.epfd = fd
+        del fd_holder
+        return fd
+
+    def epoll_ctl(self, domain_id: int, epfd: int, fd: int, *, add: bool) -> None:
+        """Register (``add=True``) or deregister interest in ``fd``."""
+        domain = self._domain(domain_id)
+        epoll = domain.lookup(epfd)
+        if not isinstance(epoll, EpollSet):
+            raise KernelError(f"fd {epfd} is not an epoll instance")
+        domain.lookup(fd)  # validate target fd
+        if add:
+            epoll.add(fd)
+        else:
+            epoll.remove(fd)
+
+    def epoll_wait(self, domain_id: int, epfd: int) -> List[int]:
+        """Ready fds (level-triggered), in registration order."""
+        domain = self._domain(domain_id)
+        epoll = domain.lookup(epfd)
+        if not isinstance(epoll, EpollSet):
+            raise KernelError(f"fd {epfd} is not an epoll instance")
+        ready: List[int] = []
+        for fd in epoll.interest():
+            obj = domain.fds.get(fd)
+            if obj is None:
+                continue
+            if isinstance(obj, Endpoint) and obj.readable():
+                ready.append(fd)
+            elif isinstance(obj, ListeningSocket) and obj.has_pending():
+                ready.append(fd)
+        return ready
+
+    # -- inspection (used by tests and the MVE runtime) ----------------------
+
+    def open_fds(self, domain_id: int) -> List[int]:
+        """All fds open in a domain."""
+        return sorted(self._domain(domain_id).fds)
+
+    def peer_endpoint(self, domain_id: int, fd: int) -> Endpoint:
+        """The remote endpoint of a connected stream fd."""
+        domain = self._domain(domain_id)
+        endpoint = domain.lookup(fd)
+        if not isinstance(endpoint, Endpoint):
+            raise KernelError(f"fd {fd} is not a stream")
+        return domain.endpoint_conn[fd].other(endpoint)

@@ -1,0 +1,127 @@
+"""Byte-stream connections and listening sockets."""
+
+from __future__ import annotations
+
+from typing import Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.errors import ConnectionClosed
+
+
+class Endpoint:
+    """One side of a :class:`Connection`.
+
+    Holds the bytes this side has *received* but not yet read.  Reads are
+    stream-oriented: a read may return fewer bytes than were written by the
+    peer, and consecutive writes may coalesce, just like TCP.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._inbox: Deque[bytes] = deque()
+        self.open = True
+        self.peer_open = True
+        self.bytes_received = 0
+
+    def deliver(self, data: bytes) -> None:
+        """Called by the connection when the peer writes."""
+        if data:
+            self._inbox.append(data)
+            self.bytes_received += len(data)
+
+    def unread(self, data: bytes) -> None:
+        """Push bytes back to the *front* of the inbox.
+
+        Used when a crashed MVE leader had consumed a request: the bytes
+        are re-delivered so the promoted follower can process it.
+        """
+        if data:
+            self._inbox.appendleft(data)
+
+    def readable(self) -> bool:
+        """True when a read would not block (data or peer-closed EOF)."""
+        return bool(self._inbox) or not self.peer_open
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered and not yet read."""
+        return sum(len(chunk) for chunk in self._inbox)
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Consume up to ``max_bytes`` buffered bytes.
+
+        Returns ``b""`` at EOF (peer closed, nothing buffered).  Raises
+        :class:`ConnectionClosed` if this side itself is closed.
+        """
+        if not self.open:
+            raise ConnectionClosed(f"read on closed endpoint {self.label}")
+        if not self._inbox:
+            return b""
+        pieces: List[bytes] = []
+        remaining = max_bytes if max_bytes is not None else float("inf")
+        while self._inbox and remaining > 0:
+            chunk = self._inbox[0]
+            if len(chunk) <= remaining:
+                pieces.append(self._inbox.popleft())
+                remaining -= len(chunk)
+            else:
+                take = int(remaining)
+                pieces.append(chunk[:take])
+                self._inbox[0] = chunk[take:]
+                remaining = 0
+        return b"".join(pieces)
+
+
+class Connection:
+    """A bidirectional byte stream between two endpoints."""
+
+    _next_id = 1
+
+    def __init__(self, client_label: str = "client", server_label: str = "server") -> None:
+        self.conn_id = Connection._next_id
+        Connection._next_id += 1
+        self.client = Endpoint(f"{client_label}#{self.conn_id}")
+        self.server = Endpoint(f"{server_label}#{self.conn_id}")
+
+    def other(self, endpoint: Endpoint) -> Endpoint:
+        """The peer of ``endpoint``."""
+        if endpoint is self.client:
+            return self.server
+        if endpoint is self.server:
+            return self.client
+        raise ValueError("endpoint does not belong to this connection")
+
+    def write(self, endpoint: Endpoint, data: bytes) -> int:
+        """Write from ``endpoint`` to its peer; returns bytes written."""
+        if not endpoint.open:
+            raise ConnectionClosed(f"write on closed endpoint {endpoint.label}")
+        peer = self.other(endpoint)
+        if not peer.open:
+            raise ConnectionClosed(f"peer of {endpoint.label} is closed")
+        peer.deliver(data)
+        return len(data)
+
+    def close(self, endpoint: Endpoint) -> None:
+        """Close one side; the peer sees EOF after draining its inbox."""
+        endpoint.open = False
+        self.other(endpoint).peer_open = False
+
+
+class ListeningSocket:
+    """A bound, listening socket with a backlog of pending connections."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self.backlog: Deque[Connection] = deque()
+        self.open = True
+
+    def enqueue(self, connection: Connection) -> None:
+        """A client connected; park the connection until accepted."""
+        self.backlog.append(connection)
+
+    def has_pending(self) -> bool:
+        """True when an accept would not block."""
+        return bool(self.backlog)
+
+    def accept(self) -> Connection:
+        """Pop the oldest pending connection."""
+        return self.backlog.popleft()

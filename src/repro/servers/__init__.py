@@ -1,0 +1,22 @@
+"""Simulated servers.
+
+Each server package provides concrete :class:`~repro.dsu.ServerVersion`
+subclasses (one per release), correct and deliberately buggy state
+transformers, and the rewrite rules its updates need:
+
+* :mod:`repro.servers.kvstore` — the paper's running example (Figure 1).
+* :mod:`repro.servers.redis` — single-threaded key-value store,
+  versions 2.0.0 through 2.0.3.
+* :mod:`repro.servers.memcached` — multi-threaded cache on LibEvent,
+  versions 1.2.2 through 1.2.4.
+* :mod:`repro.servers.vsftpd` — FTP server, versions 1.1.0 through 2.0.6.
+
+All servers share the event-driven skeleton in
+:mod:`repro.servers.base`: one event-loop *iteration* is
+``epoll_wait -> (accept | read/handle/write)*`` issued through a syscall
+gateway, which is exactly the unit the MVE runtime records and replays.
+"""
+
+from repro.servers.base import Server, Session
+
+__all__ = ["Server", "Session"]

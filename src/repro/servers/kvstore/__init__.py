@@ -1,0 +1,39 @@
+"""The paper's running example: a typed key-value store (Figure 1).
+
+Version 1.0 stores untyped string values; version 2.0 adds a ``typ``
+field to every entry, new ``PUT-<type>`` request forms, and a ``TYPE``
+command.  The update's state transformer must set every existing entry's
+type to ``string`` — and the two classic transformer bugs from the
+paper's §2.4 (an uninitialised field, a dropped table) are provided for
+fault-tolerance experiments.
+"""
+
+from repro.servers.kvstore.versions import KVStoreV1, KVStoreV2, KVStoreServer
+from repro.servers.kvstore.transforms import (
+    kv_transforms,
+    xform_1_to_2,
+    xform_2_to_1,
+    xform_corrupt_values,
+    xform_drop_table,
+    xform_uncorrupt_values,
+    xform_uninitialised_backward,
+    xform_uninitialised_type,
+)
+from repro.servers.kvstore.rules import kv_rules, kv_rules_from_dsl, kv_rules_text
+
+__all__ = [
+    "KVStoreV1",
+    "KVStoreV2",
+    "KVStoreServer",
+    "kv_transforms",
+    "xform_1_to_2",
+    "xform_2_to_1",
+    "xform_corrupt_values",
+    "xform_drop_table",
+    "xform_uncorrupt_values",
+    "xform_uninitialised_backward",
+    "xform_uninitialised_type",
+    "kv_rules",
+    "kv_rules_from_dsl",
+    "kv_rules_text",
+]

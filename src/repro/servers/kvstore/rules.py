@@ -1,0 +1,58 @@
+"""Rewrite rules for the KV-store 1.0 -> 2.0 update (the paper's Figure 4).
+
+Outdated-leader stage (old version is authoritative):
+
+* Rule 1 — a typed ``PUT-<type>`` or a ``TYPE`` command, which the old
+  leader rejects as unknown, is redirected to ``bad-cmd`` so the new
+  follower rejects it identically and neither version's state changes.
+
+Updated-leader stage (after promotion):
+
+* Rule 3 — ``PUT-string`` maps to a plain ``PUT`` for the old follower
+  (string is the default type, so the states stay related).  Other typed
+  PUTs and ``TYPE`` have no old-version equivalent: the follower will
+  diverge and be terminated, exactly as §3.3.2 prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.mve.dsl import Direction, RuleSet, parse_rules, redirect_read, rewrite_read
+
+#: The same rules in the textual DSL, kept in sync with :func:`kv_rules`
+#: (tests assert the two formulations behave identically).
+kv_rules_text = r'''
+# Outdated-leader, Rule 1 (Figure 4a): new commands -> invalid command.
+rule put_typed outdated-leader:
+    read(fd, s) where startswith(s, "PUT-") => read(fd, "bad-cmd\r\n")
+rule type_cmd outdated-leader:
+    read(fd, s) where startswith(s, "TYPE ") => read(fd, "bad-cmd\r\n")
+
+# Updated-leader, Rule 3 (Figure 4b): PUT-string -> PUT.
+rule put_string updated-leader:
+    read(fd, s) where startswith(s, "PUT-string ")
+        => read(fd, replace_prefix(s, "PUT-string ", "PUT "))
+'''
+
+
+def kv_rules() -> RuleSet:
+    """The Figure 4 rules, built with the programmatic API."""
+    rules = RuleSet()
+    rules.add(redirect_read(
+        "put_typed", lambda d: d.startswith(b"PUT-"), b"bad-cmd\r\n",
+        direction=Direction.OUTDATED_LEADER))
+    rules.add(redirect_read(
+        "type_cmd", lambda d: d.startswith(b"TYPE "), b"bad-cmd\r\n",
+        direction=Direction.OUTDATED_LEADER))
+    rules.add(rewrite_read(
+        "put_string", lambda d: d.startswith(b"PUT-string "),
+        lambda d: d.replace(b"PUT-string ", b"PUT ", 1),
+        direction=Direction.UPDATED_LEADER))
+    return rules
+
+
+def kv_rules_from_dsl() -> RuleSet:
+    """The same rules, parsed from :data:`kv_rules_text`."""
+    rules = RuleSet()
+    for rule in parse_rules(kv_rules_text):
+        rules.add(rule)
+    return rules

@@ -1,0 +1,141 @@
+"""KV-store code versions (the paper's Figure 1).
+
+Wire protocol (text lines, CRLF):
+
+=============================  =======================================
+Request                        Response
+=============================  =======================================
+``PUT <key> <value>``          ``+OK``
+``PUT-<type> <key> <value>``   ``+OK``                      (v2 only)
+``GET <key>``                  ``<value>`` or ``-ERR not found``
+``TYPE <key>``                 ``<type>`` or ``-ERR not found``  (v2)
+anything else                  ``-ERR unknown command``
+=============================  =======================================
+
+Error responses deliberately do not echo the offending command: that is
+what makes the ``bad-cmd`` redirection rule sound (both versions produce
+byte-identical rejections).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.dsu.version import ServerVersion
+from repro.errors import ServerCrash
+from repro.servers.base import Server
+
+OK = b"+OK\r\n"
+NOT_FOUND = b"-ERR not found\r\n"
+UNKNOWN = b"-ERR unknown command\r\n"
+
+#: Value types known to version 2.0 (the paper's ``string``/``number``/
+#: ``date`` constants).
+TYPES = ("string", "number", "date")
+
+
+def parse_request(line: bytes):
+    """Split ``PUT[-type] key value`` / ``GET key`` into components.
+
+    Returns ``(cmd, typ, key, value)`` with missing parts as None —
+    the shape of the paper's ``parse($(s))`` DSL helper.
+    """
+    parts = line.decode("latin-1").split(" ")
+    verb = parts[0]
+    typ: Optional[str] = None
+    if "-" in verb:
+        verb, _, typ = verb.partition("-")
+    key = parts[1] if len(parts) > 1 else None
+    value = " ".join(parts[2:]) if len(parts) > 2 else None
+    return verb, typ, key, value
+
+
+class KVStoreV1(ServerVersion):
+    """Version 1.0: untyped entries (Figure 1a)."""
+
+    app = "kvstore"
+    name = "1.0"
+
+    def initial_heap(self) -> Dict[str, Any]:
+        return {"table": {}}
+
+    def commands(self):
+        return frozenset({"PUT", "GET"})
+
+    def heap_entries(self, heap) -> int:
+        return len(heap["table"])
+
+    def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
+        verb, typ, key, value = parse_request(request)
+        table = heap["table"]
+        if verb == "PUT" and typ is None and key is not None \
+                and value is not None:
+            table[key] = value
+            return [OK]
+        if verb == "GET" and key is not None:
+            if key in table:
+                return [table[key].encode("latin-1") + b"\r\n"]
+            return [NOT_FOUND]
+        return [UNKNOWN]
+
+
+class KVStoreV2(ServerVersion):
+    """Version 2.0: typed entries, ``PUT-<type>`` and ``TYPE`` (Figure 1b)."""
+
+    app = "kvstore"
+    name = "2.0"
+    # The typed entry layout changes the checkpoint format, which is what
+    # breaks checkpoint-restart upgrades for this update (§2.2).
+    state_format = "typed-v2"
+
+    def initial_heap(self) -> Dict[str, Any]:
+        return {"table": {}}
+
+    def commands(self):
+        return frozenset({"PUT", "PUT-string", "PUT-number", "PUT-date",
+                          "GET", "TYPE"})
+
+    def heap_entries(self, heap) -> int:
+        return len(heap["table"])
+
+    def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
+        verb, typ, key, value = parse_request(request)
+        table = heap["table"]
+        if verb == "PUT" and key is not None and value is not None:
+            if typ is None:
+                typ = "string"  # outdated clients default to string
+            if typ not in TYPES:
+                return [UNKNOWN]
+            table[key] = {"val": value, "typ": typ}
+            return [OK]
+        if verb == "GET" and key is not None:
+            entry = table.get(key)
+            if entry is None:
+                return [NOT_FOUND]
+            self._check_entry(entry, key)
+            return [entry["val"].encode("latin-1") + b"\r\n"]
+        if verb == "TYPE" and key is not None:
+            entry = table.get(key)
+            if entry is None:
+                return [NOT_FOUND]
+            self._check_entry(entry, key)
+            return [entry["typ"].encode("latin-1") + b"\r\n"]
+        return [UNKNOWN]
+
+    @staticmethod
+    def _check_entry(entry: Dict[str, Any], key: str) -> None:
+        """An entry whose type was never initialised is a dangling field
+        in the C original — touching it crashes the process."""
+        if entry.get("typ") is None:
+            raise ServerCrash(
+                f"dereferenced uninitialised type field of entry {key!r}")
+
+
+class KVStoreServer(Server):
+    """The KV store mounted on the shared event-loop skeleton."""
+
+    profile_name = "kvstore"
+
+    def __init__(self, version: Optional[ServerVersion] = None,
+                 address=("127.0.0.1", 7000)) -> None:
+        super().__init__(version or KVStoreV1(), address)

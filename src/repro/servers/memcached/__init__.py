@@ -1,0 +1,43 @@
+"""Memcached analogue — versions 1.2.2 through 1.2.4 (paper §5.3).
+
+A multi-threaded in-memory cache built on the LibEvent analogue
+(:mod:`repro.libevent`).  The paper's Memcached-specific machinery is all
+here:
+
+* worker threads live *inside* LibEvent's loop, so quiescence is only
+  possible with the Kitsune extension that treats ``epoll_wait`` as an
+  update point;
+* LibEvent's round-robin dispatch memory causes spurious divergences
+  after a fork unless the leader resets it from the update-abort
+  callback — the "114 lines per version" adaptation, modelled by the
+  ``mvedsua_adapted`` flag;
+* the state-transformation bug of §6.2 ("frees memory still in use by
+  LibEvent"), which crashes the updated process only once enough clients
+  are connected.
+
+No versions changed the protocol, so no DSL rules are needed — matching
+the paper.
+"""
+
+from repro.servers.memcached.versions import (
+    MEMCACHED_VERSIONS,
+    MemcachedVersion,
+    memcached_version,
+)
+from repro.servers.memcached.server import MANY_CLIENTS_THRESHOLD, MemcachedServer
+from repro.servers.memcached.transforms import (
+    memcached_transforms,
+    xform_free_libevent,
+)
+from repro.servers.memcached.rules import memcached_rules
+
+__all__ = [
+    "MEMCACHED_VERSIONS",
+    "MemcachedVersion",
+    "memcached_version",
+    "MemcachedServer",
+    "MANY_CLIENTS_THRESHOLD",
+    "memcached_transforms",
+    "xform_free_libevent",
+    "memcached_rules",
+]

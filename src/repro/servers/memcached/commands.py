@@ -1,0 +1,169 @@
+"""Memcached text-protocol command implementations.
+
+Heap layout: ``{"items": {key: {"flags", "data", "cas"}}, "cas": n,
+"stats": {...}}``.  Data blocks are bytes; iteration order of ``items``
+is insertion order, keeping multi-key GET replies deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+Heap = Dict[str, Any]
+
+CRLF = b"\r\n"
+STORED = b"STORED\r\n"
+NOT_STORED = b"NOT_STORED\r\n"
+EXISTS = b"EXISTS\r\n"
+NOT_FOUND = b"NOT_FOUND\r\n"
+DELETED = b"DELETED\r\n"
+END = b"END\r\n"
+OK = b"OK\r\n"
+ERROR = b"ERROR\r\n"
+
+#: Verbs followed by a data block.
+STORAGE_VERBS = ("set", "add", "replace", "append", "prepend", "cas")
+
+
+def initial_heap() -> Heap:
+    """A fresh, empty cache."""
+    return {
+        "items": {},
+        "cas": 0,
+        "stats": {"cmd_get": 0, "cmd_set": 0, "get_hits": 0,
+                  "get_misses": 0},
+    }
+
+
+def _next_cas(heap: Heap) -> int:
+    heap["cas"] += 1
+    return heap["cas"]
+
+
+def handle_storage(heap: Heap, verb: str, header_args: List[str],
+                   data: bytes) -> bytes:
+    """set/add/replace/append/prepend/cas."""
+    key = header_args[0]
+    flags = int(header_args[1]) if len(header_args) > 1 else 0
+    items = heap["items"]
+    heap["stats"]["cmd_set"] += 1
+    existing = items.get(key)
+    if verb == "add" and existing is not None:
+        return NOT_STORED
+    if verb == "replace" and existing is None:
+        return NOT_STORED
+    if verb in ("append", "prepend"):
+        if existing is None:
+            return NOT_STORED
+        combined = (existing["data"] + data if verb == "append"
+                    else data + existing["data"])
+        existing["data"] = combined
+        existing["cas"] = _next_cas(heap)
+        return STORED
+    if verb == "cas":
+        wanted = int(header_args[4])
+        if existing is None:
+            return NOT_FOUND
+        if existing["cas"] != wanted:
+            return EXISTS
+    items[key] = {"flags": flags, "data": data, "cas": _next_cas(heap)}
+    return STORED
+
+
+def handle_get(heap: Heap, keys: List[str], *, with_cas: bool) -> bytes:
+    """get/gets, possibly multi-key."""
+    out = []
+    stats = heap["stats"]
+    stats["cmd_get"] += 1
+    for key in keys:
+        item = heap["items"].get(key)
+        if item is None:
+            stats["get_misses"] += 1
+            continue
+        stats["get_hits"] += 1
+        header = f"VALUE {key} {item['flags']} {len(item['data'])}"
+        if with_cas:
+            header += f" {item['cas']}"
+        out.append(header.encode() + CRLF + item["data"] + CRLF)
+    out.append(END)
+    return b"".join(out)
+
+
+def handle_delete(heap: Heap, key: str) -> bytes:
+    if heap["items"].pop(key, None) is None:
+        return NOT_FOUND
+    return DELETED
+
+
+def handle_incr_decr(heap: Heap, verb: str, key: str, amount: str) -> bytes:
+    item = heap["items"].get(key)
+    if item is None:
+        return NOT_FOUND
+    try:
+        current = int(item["data"])
+        delta = int(amount)
+    except ValueError:
+        return b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+    value = current + delta if verb == "incr" else max(0, current - delta)
+    item["data"] = str(value).encode()
+    item["cas"] = _next_cas(heap)
+    return str(value).encode() + CRLF
+
+
+def handle_stats(heap: Heap) -> bytes:
+    out = [f"STAT {name} {value}\r\n".encode()
+           for name, value in sorted(heap["stats"].items())]
+    out.append(f"STAT curr_items {len(heap['items'])}\r\n".encode())
+    out.append(END)
+    return b"".join(out)
+
+
+def handle_flush_all(heap: Heap) -> bytes:
+    heap["items"].clear()
+    return OK
+
+
+def dispatch(heap: Heap, request: bytes, version_string: str,
+             supports_noreply: bool = False) -> List[bytes]:
+    """Handle one framed request (header line [+ data block]).
+
+    ``supports_noreply`` enables the 1.2.5 protocol extension: storage
+    and delete commands ending in ``noreply`` produce *no* response.
+    Older versions ignore unknown trailing tokens (so they still store),
+    but always reply — the cross-version divergence the 1.2.4 -> 1.2.5
+    rewrite rule reconciles.
+    """
+    if CRLF in request:
+        header, data = request.split(CRLF, 1)
+    else:
+        header, data = request, b""
+    parts = header.decode("latin-1").split(" ")
+    verb = parts[0]
+    args = parts[1:]
+    noreply = bool(args) and args[-1] == "noreply"
+    suppress = noreply and supports_noreply
+    if verb in STORAGE_VERBS:
+        if len(args) < 4 or not args[3].isdigit():
+            return [ERROR]
+        reply = handle_storage(heap, verb, args, data)
+        return [] if suppress else [reply]
+    if verb == "delete" and noreply and args:
+        reply = handle_delete(heap, args[0])
+        return [] if suppress else [reply]
+    if verb == "get" and args:
+        return [handle_get(heap, args, with_cas=False)]
+    if verb == "gets" and args:
+        return [handle_get(heap, args, with_cas=True)]
+    if verb == "delete" and args:
+        return [handle_delete(heap, args[0])]
+    if verb in ("incr", "decr") and len(args) >= 2:
+        return [handle_incr_decr(heap, verb, args[0], args[1])]
+    if verb == "stats":
+        return [handle_stats(heap)]
+    if verb == "flush_all":
+        return [handle_flush_all(heap)]
+    if verb == "version":
+        return [b"VERSION " + version_string.encode() + CRLF]
+    if verb == "verbosity":
+        return [OK]
+    return [ERROR]

@@ -1,0 +1,46 @@
+"""Rewrite rules for the Memcached updates.
+
+"No version changed the sequence of system calls or added any commands,
+so we did not write any DSL rules." — paper §5.3: the paper's pairs
+(1.2.2 -> 1.2.3 -> 1.2.4) need nothing.
+
+As an extension, this reproduction also carries 1.2.5 — the next real
+release, which added the ``noreply`` protocol flag.  That update *does*
+change the syscall sequence (a flagged storage command elicits no reply
+write), so it needs exactly one rule per direction:
+
+* outdated leader (1.2.4): the leader replies to a ``noreply`` command,
+  the updated follower stays silent — drop the reply from the expected
+  stream;
+* updated leader (1.2.5): the leader stays silent, the old follower
+  replies anyway — tolerate one extra write of any content.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mve.dsl import RuleSet, suppress_reply, tolerate_extra_reply
+
+
+def _has_noreply(data: bytes) -> bool:
+    first_line = data.split(b"\r\n", 1)[0]
+    return first_line.endswith(b" noreply")
+
+
+def memcached_rules(old: str, new: str) -> RuleSet:
+    """The rule set for updating ``old`` -> ``new``."""
+    rules = RuleSet()
+    if (old, new) == ("1.2.4", "1.2.5"):
+        rules.add(suppress_reply("noreply_suppress", _has_noreply))
+        rules.add(tolerate_extra_reply("noreply_tolerate", _has_noreply))
+    return rules
+
+
+#: Rule counts per update pair, for reporting.  The paper's pairs need
+#: none; the 1.2.5 extension pair needs one.
+RULE_COUNTS: Tuple[Tuple[str, str, int], ...] = (
+    ("1.2.2", "1.2.3", 0),
+    ("1.2.3", "1.2.4", 0),
+    ("1.2.4", "1.2.5", 1),
+)

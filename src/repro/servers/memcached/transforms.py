@@ -1,0 +1,30 @@
+"""State transformers for the Memcached updates.
+
+Item layout is unchanged across 1.2.2 – 1.2.4, so the correct
+transformers are identities.  :func:`xform_free_libevent` is the §6.2
+state-transformation bug: it migrates the items correctly but "frees
+memory still in use by LibEvent" — modelled as a flag the server checks
+once enough clients are connected, at which point the freed buffer gets
+reused and the process crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.dsu.transform import TransformRegistry, identity_transform
+from repro.servers.memcached.versions import MEMCACHED_VERSIONS
+
+
+def xform_free_libevent(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Buggy transformer: correct migration + a use-after-free time bomb."""
+    heap["libevent_buffer_freed"] = True
+    return heap
+
+
+def memcached_transforms() -> TransformRegistry:
+    """Identity transformers between all consecutive releases."""
+    registry = TransformRegistry()
+    for old, new in zip(MEMCACHED_VERSIONS, MEMCACHED_VERSIONS[1:]):
+        registry.register("memcached", old, new, identity_transform)
+    return registry

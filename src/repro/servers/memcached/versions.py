@@ -1,0 +1,64 @@
+"""Memcached code versions 1.2.2 – 1.2.4.
+
+These releases changed no client-visible behaviour relevant to MVE ("no
+version changed the sequence of system calls or added any commands", §5.3)
+— the interesting Memcached behaviours live in the *server* (threading,
+LibEvent) rather than the version objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.dsu.version import ServerVersion
+from repro.servers.memcached import commands
+
+
+class MemcachedVersion(ServerVersion):
+    """One Memcached release."""
+
+    app = "memcached"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: 1.2.5 added the ``noreply`` protocol extension — the one
+        #: release in our range whose update needs a rewrite rule.
+        self.supports_noreply = name not in ("1.2.2", "1.2.3", "1.2.4")
+
+    def initial_heap(self) -> Dict[str, Any]:
+        return commands.initial_heap()
+
+    def commands(self):
+        return frozenset({"get", "gets", "set", "add", "replace", "append",
+                          "prepend", "cas", "delete", "incr", "decr",
+                          "stats", "flush_all", "version", "verbosity"})
+
+    def heap_entries(self, heap) -> int:
+        return len(heap["items"])
+
+    def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
+        return commands.dispatch(heap, request, self.name,
+                                 self.supports_noreply)
+
+
+def memcached_version(name: str) -> MemcachedVersion:
+    """Build one of the known releases."""
+    if name not in MEMCACHED_VERSIONS:
+        raise ValueError(f"unknown memcached version {name!r}")
+    return MemcachedVersion(name)
+
+
+#: Release order: the paper's evaluation set (1.2.2 – 1.2.4) plus 1.2.5,
+#: the next real release, which added ``noreply`` — included as an
+#: extension because it is the first Memcached update that *does* need a
+#: rewrite rule.
+MEMCACHED_VERSIONS = ("1.2.2", "1.2.3", "1.2.4", "1.2.5")
+
+
+def memcached_registry():
+    """All releases (incl. the 1.2.5 extension) in a registry."""
+    from repro.dsu.version import VersionRegistry
+    registry = VersionRegistry()
+    for name in MEMCACHED_VERSIONS:
+        registry.register(memcached_version(name))
+    return registry

@@ -1,0 +1,31 @@
+"""Redis analogue — versions 2.0.0 through 2.0.3 (paper §5.2).
+
+A single-threaded, in-memory key-value store speaking an inline-command
+protocol with RESP-style replies, with the behaviours the paper's Redis
+experiments depend on:
+
+* an **append-only file**: every write command is also logged to the AOF
+  via one extra ``write`` syscall.  Version 2.0.0 replies to the client
+  *then* appends; 2.0.1 reversed that order — the one DSL rule the Redis
+  updates need;
+* the **HMGET crash bug** of revision 7fb16bac: calling ``HMGET`` on a
+  key holding the wrong type crashes the server.  Present in every
+  version by default, and removable to stage the paper's
+  "error in the new code" experiment (§6.2);
+* identity state transformers between consecutive versions (the data
+  layout did not change across 2.0.0–2.0.3).
+"""
+
+from repro.servers.redis.versions import REDIS_VERSIONS, RedisVersion, redis_version
+from repro.servers.redis.server import RedisServer
+from repro.servers.redis.rules import redis_rules
+from repro.servers.redis.transforms import redis_transforms
+
+__all__ = [
+    "REDIS_VERSIONS",
+    "RedisVersion",
+    "redis_version",
+    "RedisServer",
+    "redis_rules",
+    "redis_transforms",
+]

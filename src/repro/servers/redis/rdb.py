@@ -1,0 +1,111 @@
+"""RDB-style snapshot serialisation for the Redis analogue.
+
+A deterministic, versioned binary format: the same database always
+serialises to the same bytes, so a follower replaying a leader's SAVE
+compares equal, and snapshots round-trip exactly.
+
+Layout (all integers ASCII-decimal, newline-framed for debuggability):
+
+    REDIS-RDB v1\\n
+    <n_keys>\\n
+    (<type>\\n<key>\\n<payload...>\\n)*
+    EOF\\n
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import KernelError
+
+MAGIC = b"REDIS-RDB v1\n"
+EOF = b"EOF\n"
+
+#: Default snapshot location.
+RDB_PATH = "/dump.rdb"
+
+
+def _encode_str(value: str) -> bytes:
+    data = value.encode("utf-8")
+    return str(len(data)).encode() + b"\n" + data + b"\n"
+
+
+def dump(heap: Dict[str, Any]) -> bytes:
+    """Serialise a database heap to RDB bytes (deterministic)."""
+    out: List[bytes] = [MAGIC]
+    db = heap["db"]
+    out.append(str(len(db)).encode() + b"\n")
+    for key in sorted(db):
+        tag, value = db[key]
+        out.append(tag.encode() + b"\n")
+        out.append(_encode_str(key))
+        if tag == "string":
+            out.append(_encode_str(value))
+        elif tag == "list":
+            out.append(str(len(value)).encode() + b"\n")
+            out.extend(_encode_str(item) for item in value)
+        elif tag == "set":
+            members = sorted(value)
+            out.append(str(len(members)).encode() + b"\n")
+            out.extend(_encode_str(member) for member in members)
+        elif tag == "hash":
+            fields = sorted(value)
+            out.append(str(len(fields)).encode() + b"\n")
+            for name in fields:
+                out.append(_encode_str(name))
+                out.append(_encode_str(value[name]))
+        else:  # pragma: no cover - unknown tags cannot be created
+            raise KernelError(f"cannot serialise value type {tag!r}")
+    out.append(EOF)
+    return b"".join(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.position = 0
+
+    def line(self) -> bytes:
+        end = self.data.index(b"\n", self.position)
+        line = self.data[self.position:end]
+        self.position = end + 1
+        return line
+
+    def string(self) -> str:
+        length = int(self.line())
+        value = self.data[self.position:self.position + length]
+        self.position += length + 1  # skip trailing newline
+        return value.decode("utf-8")
+
+
+def load(data: bytes) -> Dict[str, Any]:
+    """Parse RDB bytes back into a database heap."""
+    if not data.startswith(MAGIC):
+        raise KernelError("not an RDB snapshot (bad magic)")
+    reader = _Reader(data[len(MAGIC):])
+    count = int(reader.line())
+    db: Dict[str, Tuple[str, Any]] = {}
+    for _ in range(count):
+        tag = reader.line().decode()
+        key = reader.string()
+        if tag == "string":
+            db[key] = (tag, reader.string())
+        elif tag == "list":
+            items = int(reader.line())
+            db[key] = (tag, [reader.string() for _ in range(items)])
+        elif tag == "set":
+            members = int(reader.line())
+            db[key] = (tag, {reader.string(): None
+                             for _ in range(members)})
+        elif tag == "hash":
+            fields = int(reader.line())
+            value = {}
+            for _ in range(fields):
+                name = reader.string()
+                value[name] = reader.string()
+            db[key] = (tag, value)
+        else:
+            raise KernelError(f"unknown RDB value type {tag!r}")
+    if reader.data[reader.position:] != EOF:
+        raise KernelError("truncated RDB snapshot")
+    return {"db": db, "ttls": {}}

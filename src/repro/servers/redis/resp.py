@@ -1,0 +1,50 @@
+"""RESP (REdis Serialization Protocol) reply formatting."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+CRLF = b"\r\n"
+
+
+def simple(text: str) -> bytes:
+    """``+OK`` style status reply."""
+    return b"+" + text.encode("utf-8", "replace") + CRLF
+
+
+def error(text: str) -> bytes:
+    """``-ERR ...`` reply.
+
+    Encoded as UTF-8 with replacement: error texts may echo client
+    input, and some latin-1 bytes case-fold outside latin-1 (e.g. the
+    micro sign lowercases to Greek mu) — a crash here would be a
+    fuzzable denial of service.
+    """
+    return b"-ERR " + text.encode("utf-8", "replace") + CRLF
+
+
+def integer(value: int) -> bytes:
+    """``:N`` reply."""
+    return b":" + str(value).encode() + CRLF
+
+
+def bulk(value: Optional[bytes]) -> bytes:
+    """``$N\\r\\n<data>`` reply; None encodes the nil bulk ``$-1``."""
+    if value is None:
+        return b"$-1" + CRLF
+    return b"$" + str(len(value)).encode() + CRLF + value + CRLF
+
+
+def multi_bulk(values: Optional[Iterable[Optional[bytes]]]) -> bytes:
+    """``*N`` reply of bulk items; None encodes the nil multi-bulk."""
+    if values is None:
+        return b"*-1" + CRLF
+    items = list(values)
+    out = [b"*" + str(len(items)).encode() + CRLF]
+    out.extend(bulk(item) for item in items)
+    return b"".join(out)
+
+
+WRONG_TYPE = error("Operation against a key holding the wrong kind of value")
+OK = simple("OK")
+PONG = simple("PONG")

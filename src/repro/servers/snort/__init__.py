@@ -1,0 +1,37 @@
+"""Snort-like intrusion detector — the paper's §1.1 motivating example.
+
+"The Snort intrusion detection system builds a substantial in-memory
+state machine to detect multi-packet attacks.  Shutting down and
+restarting Snort drops this state machine and thus potentially misses a
+mounting attack."
+
+This server receives packet summaries from sensors, advances per-source
+attack state machines, and raises alerts when a multi-packet intrusion
+completes.  The per-flow stages are exactly the state a stop/restart
+upgrade destroys — and a Mvedsua update preserves.
+
+Two versions are provided: 1.0 carries a real false-negative bug (a
+benign packet interleaved into an attack resets the flow's stage), 1.1
+fixes it.  Because the fix *changes detection behaviour*, validating it
+against live old-version traffic can diverge on precisely the flows the
+fix matters for — the §3.3.2 situation where an operator promotes early
+instead of running a long outdated-leader stage.
+"""
+
+from repro.servers.snort.versions import (
+    SNORT_VERSIONS,
+    SnortServer,
+    SnortVersion,
+    snort_registry,
+    snort_transforms,
+    snort_version,
+)
+
+__all__ = [
+    "SNORT_VERSIONS",
+    "SnortServer",
+    "SnortVersion",
+    "snort_registry",
+    "snort_transforms",
+    "snort_version",
+]

@@ -1,0 +1,141 @@
+"""Snort-analogue code versions and server.
+
+Wire protocol (text lines, CRLF):
+
+=============================  =========================================
+Request                        Response
+=============================  =========================================
+``PKT <src> <verb>``           ``ok`` or ``ALERT intrusion <src>``
+``STATUS <src>``               ``stage <n>`` (flow progress)
+``STATS``                      ``packets=<n> alerts=<n> flows=<n>``
+``RESET``                      ``ok`` (drop all flow state)
+anything else                  ``ERR unknown``
+=============================  =========================================
+
+The intrusion signature is a three-packet sequence from one source:
+``probe`` then ``exploit`` then ``exfil``.  The per-source stage counters
+are the in-memory state machine of the paper's §1.1.
+
+Version delta: 1.0 resets a flow's stage when a ``benign`` packet from
+the same source interleaves (a false-negative bug — attackers evade by
+mixing in innocuous traffic); 1.1 keeps the stage.  For attack streams
+*without* interleaved benign packets the versions agree byte-for-byte
+(zero rewrite rules); streams that hit the bug produce a true semantic
+divergence during MVE validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dsu.transform import TransformRegistry, identity_transform
+from repro.dsu.version import ServerVersion, VersionRegistry
+from repro.servers.base import Server
+
+OK = b"ok\r\n"
+ERR = b"ERR unknown\r\n"
+
+#: The multi-packet signature, in order.
+ATTACK_SEQUENCE = ("probe", "exploit", "exfil")
+
+#: Alerts are also appended to this virtual-fs log.
+ALERT_LOG = "/snort-alerts.log"
+
+
+class SnortVersion(ServerVersion):
+    """One release of the detector."""
+
+    app = "snort"
+
+    def __init__(self, name: str, *, benign_resets_flow: bool) -> None:
+        self.name = name
+        #: The 1.0 false-negative bug: benign traffic clears progress.
+        self.benign_resets_flow = benign_resets_flow
+
+    def initial_heap(self) -> Dict[str, Any]:
+        return {"flows": {}, "packets": 0, "alerts": 0}
+
+    def commands(self):
+        return frozenset({"PKT", "STATUS", "STATS", "RESET"})
+
+    def heap_entries(self, heap) -> int:
+        return len(heap["flows"])
+
+    def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
+        parts = request.decode("latin-1").split(" ")
+        verb = parts[0].upper()
+        if verb == "PKT" and len(parts) == 3:
+            return [self._packet(heap, parts[1], parts[2], io)]
+        if verb == "STATUS" and len(parts) == 2:
+            stage = heap["flows"].get(parts[1], 0)
+            return [f"stage {stage}\r\n".encode()]
+        if verb == "STATS":
+            return [(f"packets={heap['packets']} "
+                     f"alerts={heap['alerts']} "
+                     f"flows={len(heap['flows'])}\r\n").encode()]
+        if verb == "RESET":
+            heap["flows"].clear()
+            return [OK]
+        return [ERR]
+
+    def _packet(self, heap, src: str, kind: str, io) -> bytes:
+        heap["packets"] += 1
+        flows = heap["flows"]
+        stage = flows.get(src, 0)
+        if kind == "benign":
+            if self.benign_resets_flow:
+                flows.pop(src, None)  # the 1.0 bug: progress forgotten
+            return OK
+        if stage < len(ATTACK_SEQUENCE) and kind == ATTACK_SEQUENCE[stage]:
+            stage += 1
+            if stage == len(ATTACK_SEQUENCE):
+                flows.pop(src, None)
+                heap["alerts"] += 1
+                if io is not None:
+                    io.fs_append(ALERT_LOG,
+                                 f"ALERT intrusion {src}\n".encode())
+                return f"ALERT intrusion {src}\r\n".encode()
+            flows[src] = stage
+            return OK
+        # Out-of-order attack packet: restart the machine at this step
+        # if it is a valid first step, else clear.
+        if kind == ATTACK_SEQUENCE[0]:
+            flows[src] = 1
+        else:
+            flows.pop(src, None)
+        return OK
+
+
+class SnortServer(Server):
+    """The detector on the shared event-loop skeleton."""
+
+    profile_name = "kvstore"  # comparable per-op footprint
+
+    def __init__(self, version: Optional[SnortVersion] = None,
+                 address: Tuple[str, int] = ("127.0.0.1", 9999)) -> None:
+        super().__init__(version or snort_version("1.0"), address)
+
+
+def snort_version(name: str) -> SnortVersion:
+    """Build one of the two releases."""
+    if name not in SNORT_VERSIONS:
+        raise ValueError(f"unknown snort version {name!r}")
+    return SnortVersion(name, benign_resets_flow=(name == "1.0"))
+
+
+SNORT_VERSIONS = ("1.0", "1.1")
+
+
+def snort_transforms() -> TransformRegistry:
+    """Flow-state layout is unchanged: identity transformer."""
+    registry = TransformRegistry()
+    registry.register("snort", "1.0", "1.1", identity_transform)
+    return registry
+
+
+def snort_registry() -> VersionRegistry:
+    """Both releases in a registry."""
+    registry = VersionRegistry()
+    for name in SNORT_VERSIONS:
+        registry.register(snort_version(name))
+    return registry

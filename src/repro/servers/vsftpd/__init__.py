@@ -1,0 +1,28 @@
+"""Vsftpd analogue — 14 versions, 1.1.0 through 2.0.6 (paper §5.1).
+
+An FTP server with control and passive-mode data connections over the
+virtual kernel.  The 13 consecutive update pairs carry synthesised
+protocol deltas sized so that each pair needs exactly the rewrite-rule
+count of the paper's Table 1 (average 0.85 rules/update), including the
+STOU case of Figure 5 — a new command redirected to an invalid one while
+the old version leads, and tolerated in reverse after promotion thanks to
+Vsftpd keeping no file-system state.
+"""
+
+from repro.servers.vsftpd.features import VSFTPD_FEATURES, VsftpdFeatures
+from repro.servers.vsftpd.versions import VSFTPD_VERSIONS, VsftpdVersion, vsftpd_version
+from repro.servers.vsftpd.server import VsftpdServer
+from repro.servers.vsftpd.rules import TABLE1_RULE_COUNTS, vsftpd_rules
+from repro.servers.vsftpd.transforms import vsftpd_transforms
+
+__all__ = [
+    "VSFTPD_FEATURES",
+    "VsftpdFeatures",
+    "VSFTPD_VERSIONS",
+    "VsftpdVersion",
+    "vsftpd_version",
+    "VsftpdServer",
+    "TABLE1_RULE_COUNTS",
+    "vsftpd_rules",
+    "vsftpd_transforms",
+]

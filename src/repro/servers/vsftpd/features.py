@@ -1,0 +1,121 @@
+"""Per-release feature/behaviour table for the 14 Vsftpd versions.
+
+Each release is described by the client-visible behaviours that changed
+somewhere in the 1.1.0 – 2.0.6 range.  The deltas between consecutive
+releases are synthesised (the real changelogs are not reproducible at
+this level) but *sized* so each update pair needs exactly the rule count
+the paper's Table 1 reports — and each delta is of a kind the paper
+discusses: response-text changes, added commands, and syscall-order
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class VsftpdFeatures:
+    """Client-visible behaviour of one release."""
+
+    name: str
+    #: 220 greeting sent on connect.
+    banner: str = "220 ready, dude."
+    #: SYST response.
+    syst: str = "215 UNIX Type: L8"
+    #: 530 response for commands issued before login.
+    login_prompt: str = "530 Please login with USER and PASS."
+    #: 221 response to QUIT.
+    goodbye: str = "221 Goodbye."
+    #: New-in-some-release commands.
+    has_stou: bool = False
+    has_epsv: bool = False
+    has_mdtm: bool = False
+    #: RETR opens the file before writing "150 ..." (2.0.5 changed the
+    #: order of these syscalls).
+    open_before_150: bool = False
+
+    def feat_lines(self) -> Tuple[str, ...]:
+        """Body of the FEAT response (changes when commands are added)."""
+        lines = [" PASV", " SIZE", " REST STREAM"]
+        if self.has_stou:
+            lines.append(" STOU")
+        if self.has_epsv:
+            lines.append(" EPSV")
+        return tuple(lines)
+
+    def feat_text(self) -> bytes:
+        """The full FEAT reply payload."""
+        body = "\r\n".join(self.feat_lines())
+        return f"211-Features:\r\n{body}\r\n211 End\r\n".encode()
+
+
+def _build_table() -> Dict[str, VsftpdFeatures]:
+    table: Dict[str, VsftpdFeatures] = {}
+    current = VsftpdFeatures(name="1.1.0")
+    table["1.1.0"] = current
+
+    # 1.1.0 -> 1.1.1: internal fix only (0 rules).
+    current = replace(current, name="1.1.1")
+    table["1.1.1"] = current
+
+    # 1.1.1 -> 1.1.2: banner and SYST texts reworded (2 rules).
+    current = replace(current, name="1.1.2",
+                      banner="220 FTP server ready.",
+                      syst="215 UNIX Type: L8.")
+    table["1.1.2"] = current
+
+    # 1.1.2 -> 1.1.3: internal fix only (0 rules).
+    current = replace(current, name="1.1.3")
+    table["1.1.3"] = current
+
+    # 1.1.3 -> 1.2.0: STOU added -> unknown-command redirect (Figure 5)
+    # plus the FEAT listing change (2 rules).
+    current = replace(current, name="1.2.0", has_stou=True)
+    table["1.2.0"] = current
+
+    # 1.2.0 -> 1.2.1 -> 1.2.2: internal fixes only (0 rules each).
+    current = replace(current, name="1.2.1")
+    table["1.2.1"] = current
+    current = replace(current, name="1.2.2")
+    table["1.2.2"] = current
+
+    # 1.2.2 -> 2.0.0: major release: new banner, EPSV added, FEAT
+    # listing change (3 rules).
+    current = replace(current, name="2.0.0",
+                      banner="220 vsFTPd: secure, fast.",
+                      has_epsv=True)
+    table["2.0.0"] = current
+
+    # 2.0.0 -> 2.0.1: internal fix only (0 rules).
+    current = replace(current, name="2.0.1")
+    table["2.0.1"] = current
+
+    # 2.0.1 -> 2.0.2: login prompt reworded (1 rule).
+    current = replace(current, name="2.0.2",
+                      login_prompt="530 Log in with USER and PASS first.")
+    table["2.0.2"] = current
+
+    # 2.0.2 -> 2.0.3: MDTM added (1 rule; FEAT does not list MDTM).
+    current = replace(current, name="2.0.3", has_mdtm=True)
+    table["2.0.3"] = current
+
+    # 2.0.3 -> 2.0.4: goodbye reworded (1 rule).
+    current = replace(current, name="2.0.4",
+                      goodbye="221 Goodbye, friend.")
+    table["2.0.4"] = current
+
+    # 2.0.4 -> 2.0.5: RETR opens the file before the 150 reply — a
+    # syscall-order change (1 rule).
+    current = replace(current, name="2.0.5", open_before_150=True)
+    table["2.0.5"] = current
+
+    # 2.0.5 -> 2.0.6: internal fix only (0 rules).
+    current = replace(current, name="2.0.6")
+    table["2.0.6"] = current
+    return table
+
+
+#: Release name -> feature description, in release order.
+VSFTPD_FEATURES: Dict[str, VsftpdFeatures] = _build_table()

@@ -1,0 +1,169 @@
+"""Rewrite rules for the 13 Vsftpd update pairs (paper Table 1).
+
+Rules are *derived from the feature diff* between two releases, one rule
+per client-visible behavioural change, in both directions:
+
+* response-text changes (banner, SYST, login prompt, goodbye, FEAT) map
+  the old text to the new and vice versa;
+* an added command is redirected to an invalid command while the old
+  version leads (the Figure 5 pattern), and tolerated in reverse after
+  promotion by expecting the old follower's ``500`` rejection;
+* the 2.0.5 RETR syscall-order change rotates the
+  ``write(150)/open/read`` triple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mve.dsl import (
+    Direction,
+    RewriteRule,
+    RuleSet,
+    SyscallPattern,
+    redirect_read,
+    rewrite_write,
+)
+from repro.servers.vsftpd.features import VSFTPD_FEATURES, VsftpdFeatures
+from repro.syscalls.model import Sys, SyscallRecord
+
+UNKNOWN = b"500 Unknown command.\r\n"
+
+
+def _eq(text: bytes):
+    return lambda data, t=text: data == t
+
+
+def _starts(prefix: bytes):
+    return lambda data, p=prefix: data.startswith(p)
+
+
+def _const(text: bytes):
+    return lambda data, t=text: t
+
+
+def _text_change_rules(label: str, old_text: bytes,
+                       new_text: bytes) -> List[RewriteRule]:
+    """Old leader's text maps to the new follower's, and vice versa."""
+    return [
+        rewrite_write(f"{label}_fwd", _eq(old_text), _const(new_text),
+                      direction=Direction.OUTDATED_LEADER),
+        rewrite_write(f"{label}_rev", _eq(new_text), _const(old_text),
+                      direction=Direction.UPDATED_LEADER),
+    ]
+
+
+def _added_command_rules(verb: str) -> List[RewriteRule]:
+    """A command the old version rejects but the new version executes.
+
+    Outdated leader: redirect the command to one *neither* version knows
+    (``FOOBAR``, as in Figure 5) so the new follower rejects it exactly
+    like the old leader did.
+
+    Updated leader: the new leader executes the command; expect the old
+    follower to reject it instead — tolerable because Vsftpd keeps no
+    state about the file system (paper §5.1).
+    """
+    prefix = verb.encode()
+    forward = redirect_read(f"{verb.lower()}_redirect", _starts(prefix),
+                            b"FOOBAR\r\n",
+                            direction=Direction.OUTDATED_LEADER)
+
+    # Leader-side record footprints of each new command's execution.
+    footprints = {
+        "STOU": [SyscallPattern(Sys.READ, predicate=_starts(prefix)),
+                 SyscallPattern(Sys.OPEN),
+                 SyscallPattern(Sys.WRITE, fd=-2),
+                 SyscallPattern(Sys.WRITE, predicate=_starts(b"257"))],
+        "EPSV": [SyscallPattern(Sys.READ, predicate=_starts(prefix)),
+                 SyscallPattern(Sys.LISTEN),
+                 SyscallPattern(Sys.WRITE, predicate=_starts(b"229"))],
+        "MDTM": [SyscallPattern(Sys.READ, predicate=_starts(prefix)),
+                 SyscallPattern(Sys.STAT),
+                 SyscallPattern(Sys.WRITE)],
+    }
+
+    def tolerate(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+        read = matched[0]
+        reply_fd = matched[-1].fd if matched[-1].name is Sys.WRITE else read.fd
+        return [read,
+                SyscallRecord(Sys.WRITE, fd=reply_fd, data=UNKNOWN,
+                              result=len(UNKNOWN))]
+
+    reverse = RewriteRule(f"{verb.lower()}_tolerate", footprints[verb],
+                          tolerate, direction=Direction.UPDATED_LEADER)
+    return [forward, reverse]
+
+
+def _retr_order_rules() -> List[RewriteRule]:
+    """2.0.4 -> 2.0.5: RETR opens the file before the 150 reply."""
+    write_150 = SyscallPattern(Sys.WRITE, predicate=_starts(b"150 Opening"))
+    open_file = SyscallPattern(Sys.OPEN)
+    read_file = SyscallPattern(Sys.READ, fd=-2)
+
+    def to_open_first(matched):
+        return [matched[1], matched[2], matched[0]]
+
+    def to_reply_first(matched):
+        return [matched[2], matched[0], matched[1]]
+
+    return [
+        RewriteRule("retr_order_fwd", [write_150, open_file, read_file],
+                    to_open_first, direction=Direction.OUTDATED_LEADER),
+        RewriteRule("retr_order_rev", [open_file, read_file, write_150],
+                    to_reply_first, direction=Direction.UPDATED_LEADER),
+    ]
+
+
+def rules_from_features(old: VsftpdFeatures,
+                        new: VsftpdFeatures) -> RuleSet:
+    """Derive the rule set for updating ``old`` -> ``new``."""
+    rules = RuleSet()
+    for label, old_text, new_text in (
+        ("banner", old.banner, new.banner),
+        ("syst", old.syst, new.syst),
+        ("login_prompt", old.login_prompt, new.login_prompt),
+        ("goodbye", old.goodbye, new.goodbye),
+    ):
+        if old_text != new_text:
+            for rule in _text_change_rules(
+                    label, old_text.encode() + b"\r\n",
+                    new_text.encode() + b"\r\n"):
+                rules.add(rule)
+    if old.feat_text() != new.feat_text():
+        for rule in _text_change_rules("feat", old.feat_text(),
+                                       new.feat_text()):
+            rules.add(rule)
+    for verb, had, has in (("STOU", old.has_stou, new.has_stou),
+                           ("EPSV", old.has_epsv, new.has_epsv),
+                           ("MDTM", old.has_mdtm, new.has_mdtm)):
+        if has and not had:
+            for rule in _added_command_rules(verb):
+                rules.add(rule)
+    if new.open_before_150 and not old.open_before_150:
+        for rule in _retr_order_rules():
+            rules.add(rule)
+    return rules
+
+
+def vsftpd_rules(old: str, new: str) -> RuleSet:
+    """The rule set for updating release ``old`` -> ``new``."""
+    return rules_from_features(VSFTPD_FEATURES[old], VSFTPD_FEATURES[new])
+
+
+#: The paper's Table 1: rules needed per update pair.
+TABLE1_RULE_COUNTS: Tuple[Tuple[str, str, int], ...] = (
+    ("1.1.0", "1.1.1", 0),
+    ("1.1.1", "1.1.2", 2),
+    ("1.1.2", "1.1.3", 0),
+    ("1.1.3", "1.2.0", 2),
+    ("1.2.0", "1.2.1", 0),
+    ("1.2.1", "1.2.2", 0),
+    ("1.2.2", "2.0.0", 3),
+    ("2.0.0", "2.0.1", 0),
+    ("2.0.1", "2.0.2", 1),
+    ("2.0.2", "2.0.3", 1),
+    ("2.0.3", "2.0.4", 1),
+    ("2.0.4", "2.0.5", 1),
+    ("2.0.5", "2.0.6", 0),
+)

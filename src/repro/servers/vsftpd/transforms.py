@@ -1,0 +1,19 @@
+"""State transformers for the Vsftpd updates.
+
+Vsftpd is essentially stateless (paper §5.1): the heap holds only
+allocation counters whose layout never changed, so every transformer is
+the identity.
+"""
+
+from __future__ import annotations
+
+from repro.dsu.transform import TransformRegistry, identity_transform
+from repro.servers.vsftpd.versions import VSFTPD_VERSIONS
+
+
+def vsftpd_transforms() -> TransformRegistry:
+    """Identity transformers between all consecutive releases."""
+    registry = TransformRegistry()
+    for old, new in zip(VSFTPD_VERSIONS, VSFTPD_VERSIONS[1:]):
+        registry.register("vsftpd", old, new, identity_transform)
+    return registry

@@ -1,0 +1,369 @@
+"""Vsftpd command handling, parameterised by release features.
+
+One :class:`VsftpdVersion` class implements the whole protocol; the
+per-release :class:`~repro.servers.vsftpd.features.VsftpdFeatures` value
+selects response texts, available commands, and syscall ordering — the
+same structure as maintaining one codebase across 14 releases.
+
+Sessions (``session`` dict) carry: ``user``, ``logged_in``, ``cwd``,
+``pasv_fd`` (a listening data socket awaiting use), ``rename_from``.
+
+Data transfers run inline through the ``io`` context: PASV opens a
+listening socket on a deterministic port; RETR/STOR/LIST then accept the
+client's data connection, move bytes in 64 KiB chunks, and close.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Any, Dict, List
+
+from repro.dsu.version import ServerVersion
+from repro.errors import FileNotFound, KernelError
+from repro.servers.vsftpd.features import VSFTPD_FEATURES, VsftpdFeatures
+
+CHUNK = 64 * 1024
+
+UNKNOWN = b"500 Unknown command.\r\n"
+
+#: Commands allowed before login.
+PRE_LOGIN = {"USER", "PASS", "QUIT", "SYST", "FEAT", "NOOP", "HELP"}
+
+#: Deterministic timestamp for MDTM (the virtual fs keeps no mtimes).
+MDTM_STAMP = b"213 19990101000000\r\n"
+
+
+def _resolve(cwd: str, name: str) -> str:
+    """Absolute path of ``name`` relative to the session's cwd."""
+    if name.startswith("/"):
+        return posixpath.normpath(name)
+    return posixpath.normpath(posixpath.join(cwd, name))
+
+
+class VsftpdVersion(ServerVersion):
+    """One Vsftpd release."""
+
+    app = "vsftpd"
+
+    def __init__(self, features: VsftpdFeatures) -> None:
+        self.features = features
+        self.name = features.name
+
+    def initial_heap(self) -> Dict[str, Any]:
+        # Vsftpd is essentially stateless (paper §5.1): the heap holds
+        # only counters for deterministic port/name allocation.
+        return {"next_data_port": 20000, "stou_counter": 0}
+
+    def commands(self):
+        base = {"USER", "PASS", "QUIT", "SYST", "FEAT", "NOOP", "HELP",
+                "PWD", "CWD", "CDUP", "TYPE", "MODE", "STRU", "REST",
+                "PASV", "PORT", "RETR", "STOR", "APPE", "LIST", "NLST", "DELE",
+                "MKD", "RMD", "RNFR", "RNTO", "SIZE", "ABOR"}
+        if self.features.has_stou:
+            base.add("STOU")
+        if self.features.has_epsv:
+            base.add("EPSV")
+        if self.features.has_mdtm:
+            base.add("MDTM")
+        return frozenset(base)
+
+    def banner(self) -> bytes:
+        """The 220 greeting for new control connections."""
+        return self.features.banner.encode() + b"\r\n"
+
+    # ------------------------------------------------------------------
+
+    def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
+        line = request.decode("latin-1")
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+        argument = argument.strip()
+        features = self.features
+
+        if verb not in self.commands():
+            return [UNKNOWN]
+        if verb not in PRE_LOGIN and not session.get("logged_in"):
+            return [features.login_prompt.encode() + b"\r\n"]
+
+        method = getattr(self, f"_cmd_{verb.lower()}", None)
+        if method is None:  # pragma: no cover - commands() is exhaustive
+            return [UNKNOWN]
+        return method(heap, argument, session, io)
+
+    # -- session / trivia -------------------------------------------------
+
+    def _cmd_user(self, heap, argument, session, io):
+        session["user"] = argument
+        session["logged_in"] = False
+        return [b"331 Please specify the password.\r\n"]
+
+    def _cmd_pass(self, heap, argument, session, io):
+        if not session.get("user"):
+            return [b"503 Login with USER first.\r\n"]
+        session["logged_in"] = True
+        session.setdefault("cwd", "/")
+        return [b"230 Login successful.\r\n"]
+
+    def _cmd_quit(self, heap, argument, session, io):
+        return [self.features.goodbye.encode() + b"\r\n"]
+
+    def _cmd_syst(self, heap, argument, session, io):
+        return [self.features.syst.encode() + b"\r\n"]
+
+    def _cmd_feat(self, heap, argument, session, io):
+        return [self.features.feat_text()]
+
+    def _cmd_noop(self, heap, argument, session, io):
+        return [b"200 NOOP ok.\r\n"]
+
+    def _cmd_help(self, heap, argument, session, io):
+        return [b"214 Commands are listed in FEAT.\r\n"]
+
+    def _cmd_type(self, heap, argument, session, io):
+        if argument.upper() == "I":
+            session["type"] = "I"
+            return [b"200 Switching to Binary mode.\r\n"]
+        session["type"] = "A"
+        return [b"200 Switching to ASCII mode.\r\n"]
+
+    def _cmd_mode(self, heap, argument, session, io):
+        return [b"200 Mode set to S.\r\n"]
+
+    def _cmd_stru(self, heap, argument, session, io):
+        return [b"200 Structure set to F.\r\n"]
+
+    def _cmd_rest(self, heap, argument, session, io):
+        return [b"350 Restart position accepted.\r\n"]
+
+    def _cmd_abor(self, heap, argument, session, io):
+        return [b"226 ABOR successful.\r\n"]
+
+    # -- directory state ---------------------------------------------------
+
+    def _cmd_pwd(self, heap, argument, session, io):
+        cwd = session.get("cwd", "/")
+        return [f'257 "{cwd}"\r\n'.encode()]
+
+    def _cmd_cwd(self, heap, argument, session, io):
+        target = _resolve(session.get("cwd", "/"), argument)
+        if io.fs_is_dir(target):
+            session["cwd"] = target
+            return [b"250 Directory successfully changed.\r\n"]
+        return [b"550 Failed to change directory.\r\n"]
+
+    def _cmd_cdup(self, heap, argument, session, io):
+        session["cwd"] = posixpath.dirname(session.get("cwd", "/")) or "/"
+        return [b"250 Directory successfully changed.\r\n"]
+
+    def _cmd_mkd(self, heap, argument, session, io):
+        target = _resolve(session.get("cwd", "/"), argument)
+        try:
+            io.fs_mkdir(target)
+        except (KernelError, FileNotFound):
+            return [b"550 Create directory operation failed.\r\n"]
+        return [f'257 "{target}" created.\r\n'.encode()]
+
+    def _cmd_rmd(self, heap, argument, session, io):
+        target = _resolve(session.get("cwd", "/"), argument)
+        try:
+            io.fs_rmdir(target)
+        except (KernelError, FileNotFound):
+            return [b"550 Remove directory operation failed.\r\n"]
+        return [b"250 Remove directory operation successful.\r\n"]
+
+    # -- file metadata -------------------------------------------------------
+
+    def _cmd_size(self, heap, argument, session, io):
+        size = io.fs_stat(_resolve(session.get("cwd", "/"), argument))
+        if size is None:
+            return [b"550 Could not get file size.\r\n"]
+        return [f"213 {size}\r\n".encode()]
+
+    def _cmd_mdtm(self, heap, argument, session, io):
+        size = io.fs_stat(_resolve(session.get("cwd", "/"), argument))
+        if size is None:
+            return [b"550 Could not get file modification time.\r\n"]
+        return [MDTM_STAMP]
+
+    def _cmd_dele(self, heap, argument, session, io):
+        try:
+            io.fs_unlink(_resolve(session.get("cwd", "/"), argument))
+        except (KernelError, FileNotFound):
+            return [b"550 Delete operation failed.\r\n"]
+        return [b"250 Delete operation successful.\r\n"]
+
+    def _cmd_rnfr(self, heap, argument, session, io):
+        session["rename_from"] = _resolve(session.get("cwd", "/"), argument)
+        return [b"350 Ready for RNTO.\r\n"]
+
+    def _cmd_rnto(self, heap, argument, session, io):
+        source = session.pop("rename_from", None)
+        if source is None:
+            return [b"503 RNFR required first.\r\n"]
+        try:
+            io.fs_rename(source, _resolve(session.get("cwd", "/"), argument))
+        except (KernelError, FileNotFound):
+            return [b"550 Rename failed.\r\n"]
+        return [b"250 Rename successful.\r\n"]
+
+    # -- data connections ------------------------------------------------------
+
+    def _allocate_port(self, heap) -> int:
+        port = heap["next_data_port"]
+        heap["next_data_port"] += 1
+        return port
+
+    def _cmd_pasv(self, heap, argument, session, io):
+        port = self._allocate_port(heap)
+        session["pasv_fd"] = io.listen(("127.0.0.1", port))
+        session["pasv_port"] = port
+        high, low = divmod(port, 256)
+        return [f"227 Entering Passive Mode (127,0,0,1,{high},{low}).\r\n".encode()]
+
+    def _cmd_epsv(self, heap, argument, session, io):
+        port = self._allocate_port(heap)
+        session["pasv_fd"] = io.listen(("127.0.0.1", port))
+        session["pasv_port"] = port
+        return [f"229 Entering Extended Passive Mode (|||{port}|).\r\n".encode()]
+
+    def _cmd_port(self, heap, argument, session, io):
+        """Active mode: the client tells us where to dial back."""
+        parts = argument.split(",")
+        if len(parts) != 6:
+            return [b"500 Illegal PORT command.\r\n"]
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError:
+            return [b"500 Illegal PORT command.\r\n"]
+        host = ".".join(str(n) for n in numbers[:4])
+        port = numbers[4] * 256 + numbers[5]
+        session["port_addr"] = (host, port)
+        session["pasv_fd"] = None
+        return [b"200 PORT command successful.\r\n"]
+
+    def _take_data_channel(self, session):
+        """(mode, value): 'pasv' + listening fd, or 'port' + address."""
+        pasv_fd = session.get("pasv_fd")
+        if pasv_fd is not None:
+            session["pasv_fd"] = None
+            return "pasv", pasv_fd
+        address = session.pop("port_addr", None)
+        if address is not None:
+            return "port", address
+        return None, None
+
+    def _open_data_fd(self, mode, value, io):
+        if mode == "pasv":
+            data_fd = io.accept(value)
+            return data_fd, value  # also close the listener afterwards
+        return io.connect(value), None
+
+    def _abort_data_channel(self, mode, value, io):
+        if mode == "pasv":
+            io.close(value)
+
+    def _cmd_retr(self, heap, argument, session, io):
+        mode, value = self._take_data_channel(session)
+        if mode is None:
+            return [b"425 Use PORT or PASV first.\r\n"]
+        path = _resolve(session.get("cwd", "/"), argument)
+        if io.fs_stat(path) is None:
+            self._abort_data_channel(mode, value, io)
+            return [b"550 Failed to open file.\r\n"]
+        if self.features.open_before_150:
+            data = io.fs_read(path)
+            io.control_write(b"150 Opening BINARY mode data connection.\r\n")
+        else:
+            io.control_write(b"150 Opening BINARY mode data connection.\r\n")
+            data = io.fs_read(path)
+        data_fd, listener_fd = self._open_data_fd(mode, value, io)
+        for start in range(0, len(data), CHUNK):
+            io.write(data_fd, data[start:start + CHUNK])
+        if not data:
+            io.write(data_fd, b"")
+        io.close(data_fd)
+        if listener_fd is not None:
+            io.close(listener_fd)
+        return [b"226 Transfer complete.\r\n"]
+
+    def _receive_file(self, heap, argument, session, io, *, append: bool):
+        mode, value = self._take_data_channel(session)
+        if mode is None:
+            return [b"425 Use PORT or PASV first.\r\n"]
+        path = _resolve(session.get("cwd", "/"), argument)
+        io.control_write(b"150 Ok to send data.\r\n")
+        data_fd, listener_fd = self._open_data_fd(mode, value, io)
+        received = []
+        while True:
+            chunk = io.read(data_fd, CHUNK)
+            if chunk == b"":
+                break
+            received.append(chunk)
+        io.close(data_fd)
+        if listener_fd is not None:
+            io.close(listener_fd)
+        payload = b"".join(received)
+        if append:
+            io.fs_append_file(path, payload)
+        else:
+            io.fs_write(path, payload)
+        return [b"226 Transfer complete.\r\n"]
+
+    def _cmd_stor(self, heap, argument, session, io):
+        return self._receive_file(heap, argument, session, io, append=False)
+
+    def _cmd_appe(self, heap, argument, session, io):
+        return self._receive_file(heap, argument, session, io, append=True)
+
+    def _cmd_stou(self, heap, argument, session, io):
+        """Store-unique, simplified to a metadata-only file creation.
+
+        This keeps the STOU syscall footprint small enough for a
+        tolerable updated-leader rule (the paper's §5.1 discussion).
+        """
+        heap["stou_counter"] += 1
+        name = f"stou.{heap['stou_counter']:04d}"
+        path = _resolve(session.get("cwd", "/"), name)
+        io.fs_write(path, b"")
+        return [f'257 "{path}" created.\r\n'.encode()]
+
+    def _list_payload(self, session, io) -> bytes:
+        names = io.fs_listdir(session.get("cwd", "/"))
+        if not names:
+            return b""
+        return ("\r\n".join(names) + "\r\n").encode()
+
+    def _cmd_list(self, heap, argument, session, io):
+        mode, value = self._take_data_channel(session)
+        if mode is None:
+            return [b"425 Use PORT or PASV first.\r\n"]
+        io.control_write(b"150 Here comes the directory listing.\r\n")
+        payload = self._list_payload(session, io)
+        data_fd, listener_fd = self._open_data_fd(mode, value, io)
+        io.write(data_fd, payload)
+        io.close(data_fd)
+        if listener_fd is not None:
+            io.close(listener_fd)
+        return [b"226 Directory send OK.\r\n"]
+
+    _cmd_nlst = _cmd_list
+
+
+def vsftpd_version(name: str) -> VsftpdVersion:
+    """Build one of the 14 known releases."""
+    if name not in VSFTPD_FEATURES:
+        raise ValueError(f"unknown vsftpd version {name!r}")
+    return VsftpdVersion(VSFTPD_FEATURES[name])
+
+
+#: Release order, matching the paper's Table 1.
+VSFTPD_VERSIONS = tuple(VSFTPD_FEATURES)
+
+
+def vsftpd_registry():
+    """All 14 releases in a :class:`~repro.dsu.version.VersionRegistry`."""
+    from repro.dsu.version import VersionRegistry
+    registry = VersionRegistry()
+    for name in VSFTPD_VERSIONS:
+        registry.register(vsftpd_version(name))
+    return registry

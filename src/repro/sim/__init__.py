@@ -1,0 +1,24 @@
+"""Discrete-event simulation core.
+
+The whole reproduction runs in *virtual time*: an integer nanosecond clock
+advanced by an event queue.  Server processes charge CPU time against
+:class:`~repro.sim.process.CpuAccount` objects, which model per-core
+single-server queues; clients are closed-loop generators scheduled on the
+:class:`~repro.sim.engine.Engine`.
+"""
+
+from repro.sim.engine import Engine, NANOS_PER_SECOND, MICROSECOND, MILLISECOND, SECOND, ns_to_seconds, seconds_to_ns
+from repro.sim.process import CpuAccount
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Engine",
+    "CpuAccount",
+    "RngStreams",
+    "NANOS_PER_SECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "ns_to_seconds",
+    "seconds_to_ns",
+]

@@ -1,0 +1,22 @@
+"""System-call vocabulary and cost model.
+
+Varan operates at the system-call level: the leader records every syscall
+(name, fd, data, result) into a ring buffer and followers match their own
+syscalls against it.  This package defines the record format
+(:mod:`repro.syscalls.model`) and the calibrated virtual-time cost model
+(:mod:`repro.syscalls.costs`) used by the performance experiments.
+"""
+
+from repro.syscalls.model import Sys, SyscallRecord, trace_signature
+from repro.syscalls.costs import AppProfile, ExecutionMode, ModeFactors, PROFILES, op_cost
+
+__all__ = [
+    "Sys",
+    "SyscallRecord",
+    "trace_signature",
+    "AppProfile",
+    "ExecutionMode",
+    "ModeFactors",
+    "PROFILES",
+    "op_cost",
+]

@@ -1,0 +1,13 @@
+"""Workload generators and client plumbing.
+
+* :mod:`repro.workloads.client` — a virtual client: connect, send,
+  pump the server runtime, read the response, measure latency.
+* :mod:`repro.workloads.memtier` — the Memtier-like closed-loop
+  key-value benchmark (90% GET / 10% SET) used for Redis and Memcached.
+* :mod:`repro.workloads.ftpbench` — the paper's custom Vsftpd benchmark:
+  log in, repeatedly RETR one file.
+"""
+
+from repro.workloads.client import VirtualClient
+
+__all__ = ["VirtualClient"]

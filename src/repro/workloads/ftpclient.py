@@ -1,0 +1,103 @@
+"""An FTP client for the simulated Vsftpd: control + passive data flows."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.net.kernel import VirtualKernel
+from repro.workloads.client import VirtualClient
+
+_PASV_RE = re.compile(rb"227 [^(]*\((\d+),(\d+),(\d+),(\d+),(\d+),(\d+)\)")
+_EPSV_RE = re.compile(rb"229 [^(]*\(\|\|\|(\d+)\|\)")
+
+
+class FtpClient(VirtualClient):
+    """A virtual FTP client (control connection + PASV data transfers)."""
+
+    def __init__(self, kernel: VirtualKernel, address: Tuple[str, int],
+                 name: str = "ftp-client") -> None:
+        super().__init__(kernel, address, name)
+        self.greeting: Optional[bytes] = None
+
+    def connect_greeting(self, runtime: Any, now: int = 0) -> bytes:
+        """Pump the server once so it accepts us and sends the banner."""
+        runtime.pump(now)
+        self.greeting = self.recv()
+        return self.greeting
+
+    def login(self, runtime: Any, user: str = "anonymous",
+              password: str = "guest", now: int = 0) -> bytes:
+        """USER/PASS exchange; returns the final reply."""
+        if self.greeting is None:
+            self.connect_greeting(runtime, now)
+        self.command(runtime, f"USER {user}".encode(), now)
+        return self.command(runtime, f"PASS {password}".encode(), now)
+
+    # -- data-connection plumbing ---------------------------------------------
+
+    def _open_data_connection(self, runtime: Any, now: int,
+                              extended: bool = False) -> int:
+        """PASV (or EPSV) handshake; returns the connected data fd."""
+        verb = b"EPSV" if extended else b"PASV"
+        reply = self.command(runtime, verb, now)
+        port = self._parse_data_port(reply)
+        return self.kernel.connect(self.domain, ("127.0.0.1", port))
+
+    @staticmethod
+    def _parse_data_port(reply: bytes) -> int:
+        pasv = _PASV_RE.search(reply)
+        if pasv:
+            return int(pasv.group(5)) * 256 + int(pasv.group(6))
+        epsv = _EPSV_RE.search(reply)
+        if epsv:
+            return int(epsv.group(1))
+        raise KernelError(f"no data port in reply: {reply!r}")
+
+    def _drain_data(self, data_fd: int) -> bytes:
+        chunks = []
+        while True:
+            chunk = self.kernel.read(self.domain, data_fd, 1 << 20)
+            if chunk == b"":
+                break
+            chunks.append(chunk)
+        self.kernel.close(self.domain, data_fd)
+        return b"".join(chunks)
+
+    # -- file operations -----------------------------------------------------------
+
+    def retr(self, runtime: Any, name: str, now: int = 0,
+             extended: bool = False) -> Tuple[bytes, bytes]:
+        """Download a file; returns ``(control_replies, file_bytes)``."""
+        data_fd = self._open_data_connection(runtime, now, extended)
+        control = self.command(runtime, f"RETR {name}".encode(), now)
+        return control, self._drain_data(data_fd)
+
+    def stor(self, runtime: Any, name: str, payload: bytes,
+             now: int = 0) -> bytes:
+        """Upload a file; returns the control replies."""
+        data_fd = self._open_data_connection(runtime, now)
+        # Deliver the payload and close before STOR so the server can
+        # read to EOF within one iteration (deterministic framing).
+        self.kernel.write(self.domain, data_fd, payload)
+        self.kernel.close(self.domain, data_fd)
+        return self.command(runtime, f"STOR {name}".encode(), now)
+
+    def list_dir(self, runtime: Any, now: int = 0) -> Tuple[bytes, bytes]:
+        """LIST the current directory via a data connection."""
+        data_fd = self._open_data_connection(runtime, now)
+        control = self.command(runtime, b"LIST", now)
+        return control, self._drain_data(data_fd)
+
+    def retr_active(self, runtime: Any, name: str, port: int,
+                    now: int = 0) -> Tuple[bytes, bytes]:
+        """Download via active mode: we listen, the server dials back."""
+        listen_fd = self.kernel.listen(self.domain, ("127.0.0.1", port))
+        high, low = divmod(port, 256)
+        self.command(runtime, b"PORT 127,0,0,1,%d,%d" % (high, low), now)
+        control = self.command(runtime, f"RETR {name}".encode(), now)
+        data_fd = self.kernel.accept(self.domain, listen_fd)
+        data = self._drain_data(data_fd)
+        self.kernel.close(self.domain, listen_fd)
+        return control, data

@@ -1,0 +1,39 @@
+"""Shared fixtures: a kernel, a KV-store deployment, and clients."""
+
+import pytest
+
+from repro.core import Mvedsua
+from repro.net import VirtualKernel
+from repro.servers.kvstore import KVStoreServer, KVStoreV1, kv_transforms
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+@pytest.fixture
+def kernel():
+    return VirtualKernel()
+
+
+@pytest.fixture
+def kv_server(kernel):
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    return server
+
+
+@pytest.fixture
+def mvedsua(kernel, kv_server):
+    return Mvedsua(kernel, kv_server, PROFILES["kvstore"],
+                   transforms=kv_transforms())
+
+
+@pytest.fixture
+def client(kernel, kv_server):
+    return VirtualClient(kernel, kv_server.address)
+
+
+@pytest.fixture
+def make_client(kernel, kv_server):
+    def _make(name="client"):
+        return VirtualClient(kernel, kv_server.address, name)
+    return _make

@@ -1,0 +1,169 @@
+"""Tests for the comparator baselines (§2.2 / §7 systems)."""
+
+import pytest
+
+from repro.baselines import (
+    CheckpointRestart,
+    LOCKSTEP_SYSTEMS,
+    StopRestart,
+    TTSTValidator,
+    TTSTVerdict,
+    checkpoint_pause_ns,
+)
+from repro.baselines.restart import (
+    CHECKPOINT_PATH,
+    IncompatibleCheckpoint,
+    RESTART_BASE_NS,
+)
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    xform_1_to_2,
+    xform_2_to_1,
+    xform_drop_table,
+)
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def kv_deployment():
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["kvstore"],
+                            with_kitsune=True)
+    client = VirtualClient(kernel, server.address)
+    client.command(runtime, b"PUT balance 1000")
+    return kernel, server, runtime, client
+
+
+class TestStopRestart:
+    def test_state_is_lost(self):
+        _, server, runtime, client = kv_deployment()
+        StopRestart().perform(runtime, KVStoreV2(), SECOND)
+        assert server.version.name == "2.0"
+        assert client.command(runtime, b"GET balance",
+                              now=10 * SECOND) == b"-ERR not found\r\n"
+
+    def test_pause_is_restart_base(self):
+        _, _, runtime, _ = kv_deployment()
+        report = StopRestart().perform(runtime, KVStoreV2(), SECOND)
+        assert report.pause_ns == RESTART_BASE_NS
+        assert not report.state_preserved
+
+
+class TestCheckpointRestart:
+    def test_compatible_formats_preserve_state(self):
+        # Redis 2.0.0 -> 2.0.1 share a state format.
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"],
+                                with_kitsune=True)
+        client = VirtualClient(kernel, server.address)
+        client.command(runtime, b"SET balance 1000")
+        report = CheckpointRestart().perform(
+            runtime, redis_version("2.0.1"), SECOND)
+        assert report.state_preserved
+        assert server.version.name == "2.0.1"
+        assert kernel.fs.exists(CHECKPOINT_PATH)
+        assert client.command(runtime, b"GET balance",
+                              now=60 * SECOND) == b"$4\r\n1000\r\n"
+
+    def test_format_change_fails_after_paying_the_pause(self):
+        _, server, runtime, client = kv_deployment()
+        with pytest.raises(IncompatibleCheckpoint):
+            CheckpointRestart().perform(runtime, KVStoreV2(), SECOND)
+        # The old version keeps running with its state.
+        assert server.version.name == "1.0"
+        assert client.command(runtime, b"GET balance",
+                              now=60 * SECOND) == b"1000\r\n"
+
+    def test_pause_scales_with_state(self):
+        small = checkpoint_pause_ns(1_000)
+        large = checkpoint_pause_ns(10 * 1024**3)  # the paper's 10 GB
+        assert large > small
+        # ~28 s for 10 GB plus the restart base (paper §2.2).
+        assert large == pytest.approx(28 * SECOND + RESTART_BASE_NS,
+                                      rel=0.1)
+
+    def test_sessions_do_not_survive_restart(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"],
+                                with_kitsune=True)
+        client = VirtualClient(kernel, server.address)
+        client.command(runtime, b"PING")
+        assert server.sessions
+        CheckpointRestart().perform(runtime, redis_version("2.0.1"),
+                                    SECOND)
+        assert not server.sessions
+
+
+class TestTTST:
+    HEAP = {"table": {"k": "v"}}
+
+    def test_correct_pair_accepted(self):
+        report = TTSTValidator(xform_1_to_2, xform_2_to_1).validate(
+            dict(self.HEAP))
+        assert report.verdict is TTSTVerdict.ACCEPTED
+        assert report.ok
+
+    def test_round_trip_mismatch_rejected(self):
+        report = TTSTValidator(xform_drop_table, xform_2_to_1).validate(
+            {"table": {"k": "v"}})
+        assert report.verdict is TTSTVerdict.REJECTED
+        assert "mismatch" in report.detail
+
+    def test_raising_forward_rejected(self):
+        def explode(heap):
+            raise ValueError("boom")
+        report = TTSTValidator(explode, xform_2_to_1).validate(
+            dict(self.HEAP))
+        assert not report.ok
+        assert "forward" in report.detail
+
+    def test_raising_backward_rejected(self):
+        def explode(heap):
+            raise ValueError("boom")
+        report = TTSTValidator(xform_1_to_2, explode).validate(
+            dict(self.HEAP))
+        assert not report.ok
+        assert "backward" in report.detail
+
+    def test_validation_does_not_mutate_input(self):
+        heap = {"table": {"k": "v"}}
+        TTSTValidator(xform_1_to_2, xform_2_to_1).validate(heap)
+        assert heap == {"table": {"k": "v"}}
+
+
+class TestLockstepModels:
+    def test_overhead_ranges_are_ordered(self):
+        for system in LOCKSTEP_SYSTEMS.values():
+            low, high = system.overhead_range(PROFILES["redis"])
+            assert 0 < low <= high < 1
+
+    def test_paper_quoted_ranges(self):
+        muc_low, muc_high = LOCKSTEP_SYSTEMS["muc"].overhead_range(
+            PROFILES["redis"])
+        assert 0.20 < muc_low < 0.30       # paper: 23.2%
+        assert 0.75 < muc_high < 0.92      # paper: up to 87.1%
+        mx_low, _ = LOCKSTEP_SYSTEMS["mx"].overhead_range(
+            PROFILES["redis"])
+        assert mx_low > 0.60               # paper: 3x-16x slowdown
+        imago_low, _ = LOCKSTEP_SYSTEMS["imago"].overhead_range(
+            PROFILES["redis"])
+        assert imago_low > 0.90            # paper: up to 1000x
+
+    def test_capability_flags(self):
+        assert not LOCKSTEP_SYSTEMS["muc"].detects_post_update_errors
+        assert not LOCKSTEP_SYSTEMS["mx"].masks_update_pause
+        assert not any(
+            s.supports_representation_changes
+            for s in LOCKSTEP_SYSTEMS.values())

@@ -1,0 +1,195 @@
+"""Tests for the fluid performance simulator."""
+
+import pytest
+
+from repro.bench.fluid import (
+    FluidConfig,
+    FluidSim,
+    TAIL_FLOOR_NS,
+    UpdatePlan,
+    mode_throughputs,
+    steady_state_throughput,
+)
+from repro.sim.engine import MILLISECOND, SECOND
+from repro.syscalls.costs import FORK_PAUSE_NS, PROFILES, ExecutionMode
+from repro.workloads.memtier import MemtierSpec
+
+
+def redis_config(**kwargs):
+    defaults = dict(profile=PROFILES["redis"],
+                    spec=MemtierSpec(duration_ns=30 * SECOND))
+    defaults.update(kwargs)
+    return FluidConfig(**defaults)
+
+
+def plan(request_s=10, promote_s=18, finalize_s=24, immediate=False):
+    return UpdatePlan(request_at=request_s * SECOND,
+                      promote_at=promote_s * SECOND,
+                      finalize_at=finalize_s * SECOND,
+                      immediate_promotion=immediate)
+
+
+class TestSteadyState:
+    def test_native_throughput_matches_cost_model(self):
+        ops = steady_state_throughput(PROFILES["redis"],
+                                      ExecutionMode.NATIVE)
+        assert ops == pytest.approx(73_000, rel=0.02)
+
+    def test_threads_scale_throughput(self):
+        one = steady_state_throughput(PROFILES["memcached"],
+                                      ExecutionMode.NATIVE, threads=1)
+        four = steady_state_throughput(PROFILES["memcached"],
+                                       ExecutionMode.NATIVE, threads=4)
+        assert four == pytest.approx(4 * one, rel=0.01)
+
+    def test_bytes_slow_large_transfers(self):
+        small = steady_state_throughput(PROFILES["vsftpd-large"],
+                                        ExecutionMode.NATIVE, n_bytes=0)
+        large = steady_state_throughput(PROFILES["vsftpd-large"],
+                                        ExecutionMode.NATIVE,
+                                        n_bytes=10 * 1024 * 1024)
+        assert large < small / 5
+
+    def test_mode_throughputs_monotone(self):
+        rows = dict((label, ops) for label, ops, _ in
+                    mode_throughputs(PROFILES["redis"]))
+        assert rows["native"] >= rows["mvedsua-1"] > rows["mvedsua-2"]
+
+    def test_no_update_run_has_floor_latency(self):
+        result = FluidSim(redis_config()).run()
+        assert result.longest_stall_ns == 0
+        assert result.max_latency_ns >= TAIL_FLOOR_NS
+        assert result.max_latency_ns < TAIL_FLOOR_NS + 10 * MILLISECOND
+
+
+class TestBins:
+    def test_one_bin_per_second(self):
+        result = FluidSim(redis_config()).run()
+        assert len(result.bins) == 30
+
+    def test_total_matches_bins(self):
+        result = FluidSim(redis_config()).run()
+        assert result.total_ops == pytest.approx(sum(result.bins))
+
+    def test_fixed_mode_bins_are_flat(self):
+        result = FluidSim(redis_config(),
+                          fixed_mode=ExecutionMode.NATIVE).run()
+        assert max(result.bins) - min(result.bins) < 0.01 * max(result.bins)
+
+
+class TestMvedsuaUpdateTimeline:
+    def test_lifecycle_instants_recorded_in_order(self):
+        config = redis_config(initial_entries=100_000,
+                              ring_capacity=1 << 24)
+        result = FluidSim(config).run(plan=plan())
+        assert result.t1_forked == 10 * SECOND
+        assert result.t2_updated > result.t1_forked
+        assert result.t3_caught_up >= result.t2_updated
+        assert result.t5_promoted >= 18 * SECOND
+        assert result.t6_finalized >= 24 * SECOND
+
+    def test_update_duration_scales_with_store(self):
+        # Note: the store also grows with pre-update traffic (bounded by
+        # the Memtier keyspace), so compare empty vs far-above-keyspace.
+        small = FluidSim(redis_config(initial_entries=0,
+                                      ring_capacity=1 << 24)
+                         ).run(plan=plan())
+        large = FluidSim(redis_config(initial_entries=2_000_000,
+                                      ring_capacity=1 << 24)
+                         ).run(plan=plan())
+        assert (large.t2_updated - large.t1_forked) > \
+            10 * (small.t2_updated - small.t1_forked)
+
+    def test_throughput_recovers_after_finalize(self):
+        config = redis_config(ring_capacity=1 << 24)
+        result = FluidSim(config).run(plan=plan())
+        assert result.bins[28] == pytest.approx(result.bins[5], rel=0.02)
+
+    def test_mve_phase_is_slower(self):
+        config = redis_config(ring_capacity=1 << 24)
+        result = FluidSim(config).run(plan=plan())
+        single_phase = result.bins[5]
+        mve_phase = result.bins[14]
+        assert 0.20 < 1 - mve_phase / single_phase < 0.55
+
+
+class TestRingBufferDynamics:
+    def test_small_ring_blocks_leader_through_update(self):
+        config = redis_config(initial_entries=1_000_000,
+                              ring_capacity=1 << 10,
+                              spec=MemtierSpec(duration_ns=60 * SECOND))
+        result = FluidSim(config).run(plan=plan(request_s=10,
+                                                promote_s=40,
+                                                finalize_s=50))
+        update_duration = result.t2_updated - result.t1_forked
+        # The stall is essentially the whole update.
+        assert result.longest_stall_ns > 0.9 * update_duration
+
+    def test_huge_ring_masks_the_update(self):
+        config = redis_config(initial_entries=1_000_000,
+                              ring_capacity=1 << 24,
+                              spec=MemtierSpec(duration_ns=60 * SECOND))
+        result = FluidSim(config).run(plan=plan(request_s=10,
+                                                promote_s=40,
+                                                finalize_s=50))
+        # Only the fork pause shows up.
+        assert result.longest_stall_ns <= 2 * FORK_PAUSE_NS
+
+    def test_pause_decreases_with_ring_size(self):
+        latencies = []
+        for power in (10, 16, 20, 24):
+            config = redis_config(initial_entries=1_000_000,
+                                  ring_capacity=1 << power,
+                                  spec=MemtierSpec(duration_ns=60 * SECOND))
+            result = FluidSim(config).run(plan=plan(request_s=10,
+                                                    promote_s=40,
+                                                    finalize_s=50))
+            latencies.append(result.max_latency_ns)
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_kitsune_pause_equals_quiesce_plus_transform(self):
+        config = redis_config(initial_entries=1_000_000,
+                              spec=MemtierSpec(duration_ns=60 * SECOND))
+        result = FluidSim(config).run(
+            plan=plan(request_s=10), kitsune_in_place=True)
+        xform = 1_000_000 * PROFILES["redis"].xform_entry_ns
+        assert result.longest_stall_ns == pytest.approx(xform, rel=0.02)
+
+
+class TestImmediatePromotionAblation:
+    def test_immediate_promotion_reintroduces_pause(self):
+        config = redis_config(initial_entries=1_000_000,
+                              ring_capacity=1 << 24,
+                              spec=MemtierSpec(duration_ns=60 * SECOND))
+        staged = FluidSim(config).run(plan=plan(request_s=10, promote_s=40,
+                                                finalize_s=50))
+        rushed = FluidSim(config).run(plan=plan(request_s=10,
+                                                immediate=True))
+        assert rushed.max_latency_ns > 10 * staged.max_latency_ns
+        assert rushed.t6_finalized is not None
+
+
+class TestRollbackTimeline:
+    def test_rollback_restores_single_leader_rate(self):
+        config = redis_config(ring_capacity=1 << 24,
+                              spec=MemtierSpec(duration_ns=30 * SECOND))
+        rollback_plan = UpdatePlan(request_at=10 * SECOND,
+                                   rollback_at=15 * SECOND)
+        result = FluidSim(config).run(plan=rollback_plan)
+        assert result.rolled_back_at == 15 * SECOND
+        assert result.t5_promoted is None
+        # MVE-rate during validation, full rate again after rollback.
+        single_rate = result.bins[5]
+        mve_rate = result.bins[12]
+        post_rollback = result.bins[20]
+        assert mve_rate < 0.8 * single_rate
+        assert post_rollback == pytest.approx(single_rate, rel=0.02)
+
+    def test_rollback_never_pauses_service(self):
+        config = redis_config(ring_capacity=1 << 24,
+                              spec=MemtierSpec(duration_ns=30 * SECOND))
+        rollback_plan = UpdatePlan(request_at=10 * SECOND,
+                                   rollback_at=15 * SECOND)
+        result = FluidSim(config).run(plan=rollback_plan)
+        assert min(result.bins) > 0
+        assert result.max_latency_ns < TAIL_FLOOR_NS + 100 * MILLISECOND

@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark drivers and reporting helpers."""
+
+import pytest
+
+from repro.bench import fig7, table2
+from repro.bench.fig7 import Fig7Row
+from repro.bench.fluid import FluidResult
+from repro.bench.reporting import (
+    format_ms,
+    format_percent,
+    format_table,
+    sparkline,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 12345]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "-" in lines[1]
+        assert "12,345" in lines[3]
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.1" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.254) == "25%"
+        assert format_percent(-0.01) == "-1%"
+
+    def test_format_ms(self):
+        assert format_ms(5_040_000_000) == "5,040 ms"
+        assert format_ms(None) == "-"
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8], width=9)
+        assert len(line) == 9
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline([1.0] * 1000, width=50)) <= 51
+
+
+class TestTable2Module:
+    def test_paper_reference_data_complete(self):
+        for app, rows in table2.PAPER_TABLE2.items():
+            assert app in table2.WORKLOADS
+            assert "native" in rows and "mvedsua-2" in rows
+
+    def test_render_contains_all_modes(self):
+        cells = table2.run_table2()
+        text = table2.render(cells)
+        for mode in ("native", "kitsune", "varan-1", "mvedsua-1",
+                     "varan-2", "mvedsua-2"):
+            assert mode in text
+
+    def test_cell_count(self):
+        assert len(table2.run_table2()) == 4 * 6
+
+
+class TestFig7Module:
+    def fake_row(self, label, latency_ms):
+        result = FluidResult(bins=[1.0], total_ops=1.0,
+                             duration_ns=10**9,
+                             max_latency_ns=int(latency_ms * 1e6),
+                             longest_stall_ns=0)
+        return Fig7Row(label, result, 100)
+
+    def test_check_shape_accepts_paper_ordering(self):
+        rows = [
+            self.fake_row("native", 100),
+            self.fake_row("kitsune", 5040),
+            self.fake_row("mvedsua-2^10", 7130),
+            self.fake_row("mvedsua-2^20", 5330),
+            self.fake_row("mvedsua-2^24", 117),
+            self.fake_row("immediate-promotion", 3000),
+        ]
+        assert fig7.check_shape(rows) == []
+
+    def test_check_shape_flags_inversions(self):
+        rows = [
+            self.fake_row("native", 100),
+            self.fake_row("kitsune", 5040),
+            self.fake_row("mvedsua-2^10", 100),   # wrong: should be worst
+            self.fake_row("mvedsua-2^20", 5330),
+            self.fake_row("mvedsua-2^24", 117),
+            self.fake_row("immediate-promotion", 3000),
+        ]
+        failures = fig7.check_shape(rows)
+        assert any("2^10" in failure for failure in failures)
+
+    def test_render_includes_paper_column(self):
+        rows = fig7.run_fig7()
+        text = fig7.render(rows)
+        assert "5,040 ms" in text  # the paper's Kitsune number
+        assert "shape check: ok" in text

@@ -1,0 +1,61 @@
+"""Cross-validation: the semantic MVE stack vs the fluid model.
+
+The fluid simulator asserts the paper's overheads analytically; these
+tests measure the same overheads by *running* the full semantic stack
+(real Redis, real ring buffer, real rules) under a scaled Memtier
+workload, and require the two fidelities to agree.
+"""
+
+import pytest
+
+from repro.bench.semantic import run_semantic_redis_lifecycle
+from repro.syscalls.costs import PROFILES, ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    return run_semantic_redis_lifecycle(ops_per_phase=300)
+
+
+def test_lifecycle_completes_cleanly(lifecycle):
+    assert not lifecycle.diverged
+    assert lifecycle.update_succeeded
+    assert lifecycle.final_version == "2.0.1"
+    assert [p.phase for p in lifecycle.phases] == [
+        "single-before", "outdated-leader", "updated-leader",
+        "single-after"]
+
+
+def test_mve_phase_overhead_matches_cost_model(lifecycle):
+    """Measured semantic overhead == the calibrated model's overhead."""
+    single = lifecycle.phase("single-before").ops_per_sec
+    mve = lifecycle.phase("outdated-leader").ops_per_sec
+    measured_drop = 1 - mve / single
+
+    profile = PROFILES["redis"]
+    # The semantic stack runs the *actual* iteration (one epoll_wait +
+    # read + reply write, plus the AOF write on write commands), so the
+    # model's prediction uses the same per-mode factors.
+    model_drop = 1 - (profile.op_cost_ns(ExecutionMode.MVEDSUA_SINGLE)
+                      / profile.op_cost_ns(ExecutionMode.MVEDSUA_LEADER))
+    assert measured_drop == pytest.approx(model_drop, abs=0.06)
+
+
+def test_single_leader_phases_agree(lifecycle):
+    before = lifecycle.phase("single-before").ops_per_sec
+    after = lifecycle.phase("single-after").ops_per_sec
+    assert after == pytest.approx(before, rel=0.05)
+
+
+def test_updated_leader_costs_like_outdated_leader(lifecycle):
+    outdated = lifecycle.phase("outdated-leader").ops_per_sec
+    updated = lifecycle.phase("updated-leader").ops_per_sec
+    assert updated == pytest.approx(outdated, rel=0.10)
+
+
+def test_semantic_throughput_magnitude_is_calibrated(lifecycle):
+    """Semantic single-leader throughput lands near the fluid model's
+    Mvedsua-1 rate (the workload mixes read and write iteration shapes,
+    so allow a modest band)."""
+    single = lifecycle.phase("single-before").ops_per_sec
+    assert 45_000 < single < 80_000

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import _COMMANDS, main
+
+
+def test_all_experiments_have_commands():
+    assert set(_COMMANDS) == {"table1", "table2", "fig6", "fig7",
+                              "faults", "ablations", "cluster",
+                              "experiments"}
+
+
+def test_table2_runs(capsys):
+    assert main(["table2"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 2" in output
+    assert "mvedsua-2" in output
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    output = capsys.readouterr().out
+    assert "Average rules/update: 0.85" in output
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_missing_argument_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,127 @@
+"""Tests for the closed-loop multi-client driver."""
+
+import pytest
+
+from repro.core import Mvedsua, Stage
+from repro.net import VirtualKernel
+from repro.servers.memcached import (
+    MemcachedServer,
+    memcached_rules,
+    memcached_transforms,
+    memcached_version,
+)
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads.closed_loop import ClosedLoopDriver
+from repro.workloads.memtier import MemtierSpec
+
+
+def redis_deployment():
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+    return kernel, server, runtime
+
+
+def test_all_requests_answered():
+    kernel, server, runtime = redis_deployment()
+    driver = ClosedLoopDriver(kernel, runtime, server.address,
+                              connections=4)
+
+    def commands(index):
+        for i in range(25):
+            yield b"SET c%d-k%d v\r\n" % (index, i)
+
+    stats = driver.run(commands)
+    assert stats.requests_sent == 100
+    assert stats.responses_received == 100
+    assert len(server.heap["db"]) == 100
+
+
+def test_throughput_near_profile_rate():
+    kernel, server, runtime = redis_deployment()
+    driver = ClosedLoopDriver(kernel, runtime, server.address,
+                              connections=4)
+    spec = MemtierSpec()
+
+    def commands(index):
+        return iter(list(spec.commands(100, protocol="redis",
+                                       seed=index)))
+
+    stats = driver.run(commands)
+    # A single-threaded server serves ~73k ops/s regardless of the
+    # number of closed-loop clients.
+    assert stats.throughput_ops_per_sec == pytest.approx(73_000, rel=0.20)
+
+
+def test_latency_grows_with_connections():
+    def run_with(connections):
+        kernel, server, runtime = redis_deployment()
+        driver = ClosedLoopDriver(kernel, runtime, server.address,
+                                  connections=connections)
+        driver_commands = lambda index: iter(
+            [b"SET k%d-%d v\r\n" % (index, i) for i in range(30)])
+        return driver.run(driver_commands).mean_latency_ns
+
+    # More concurrent closed-loop clients => more queueing per request.
+    assert run_with(8) > run_with(1)
+
+
+def test_interleaving_is_deterministic():
+    def run_once():
+        kernel, server, runtime = redis_deployment()
+        driver = ClosedLoopDriver(kernel, runtime, server.address,
+                                  connections=3)
+        commands = lambda index: iter(
+            [b"SET k%d-%d v\r\n" % (index, i) for i in range(10)])
+        stats = driver.run(commands)
+        return stats.finished_at, tuple(stats.latencies_ns)
+
+    assert run_once() == run_once()
+
+
+def test_memcached_update_under_concurrent_load():
+    """Many interleaved clients through a full Mvedsua lifecycle,
+    exercising LibEvent's round-robin with multi-ready epoll sets."""
+    kernel = VirtualKernel()
+    server = MemcachedServer(memcached_version("1.2.2"))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["memcached"],
+                      transforms=memcached_transforms(),
+                      ring_capacity=1 << 14)
+    driver = ClosedLoopDriver(kernel, mvedsua, server.address,
+                              connections=6)
+    mvedsua.request_update(memcached_version("1.2.3"), SECOND,
+                           rules=memcached_rules("1.2.2", "1.2.3"))
+
+    def commands(index):
+        for i in range(20):
+            yield b"set c%d-%d 0 0 1\r\nv\r\n" % (index, i)
+            yield b"get c%d-%d\r\n" % (index, i)
+
+    stats = driver.run(commands, start_at=2 * SECOND)
+    assert stats.responses_received == 6 * 40
+    assert mvedsua.stage is Stage.OUTDATED_LEADER
+    assert mvedsua.runtime.last_divergence is None
+    mvedsua.promote(stats.finished_at + SECOND)
+    mvedsua.finalize(stats.finished_at + 2 * SECOND)
+    assert mvedsua.current_version == "1.2.3"
+
+
+def test_think_time_spreads_requests():
+    kernel, server, runtime = redis_deployment()
+    eager = ClosedLoopDriver(kernel, runtime, server.address,
+                             connections=1)
+    commands = lambda index: iter([b"PING\r\n"] * 10)
+    fast = eager.run(commands)
+
+    kernel, server, runtime = redis_deployment()
+    lazy = ClosedLoopDriver(kernel, runtime, server.address,
+                            connections=1, think_time_ns=10**7)
+    slow = lazy.run(commands)
+    assert slow.finished_at - slow.started_at > \
+        fast.finished_at - fast.started_at
+    assert slow.throughput_ops_per_sec < fast.throughput_ops_per_sec

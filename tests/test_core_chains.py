@@ -1,0 +1,110 @@
+"""Tests for registry-driven chained updates."""
+
+import pytest
+
+from repro.core import Mvedsua
+from repro.core.chains import upgrade_chain
+from repro.mve.dsl import RuleSet
+from repro.net import VirtualKernel
+from repro.servers.vsftpd import (
+    VsftpdServer,
+    vsftpd_rules,
+    vsftpd_transforms,
+    vsftpd_version,
+)
+from repro.servers.vsftpd.versions import vsftpd_registry
+from repro.servers.redis import (
+    RedisServer,
+    redis_rules,
+    redis_transforms,
+    redis_version,
+)
+from repro.servers.redis.versions import redis_registry
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+from repro.workloads.ftpclient import FtpClient
+
+
+def vsftpd_deployment(start="1.1.0"):
+    kernel = VirtualKernel()
+    kernel.fs.write_file("/f.txt", b"chained")
+    server = VsftpdServer(vsftpd_version(start))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["vsftpd-small"],
+                      transforms=vsftpd_transforms())
+    client = FtpClient(kernel, server.address)
+    client.login(mvedsua)
+    return kernel, mvedsua, client
+
+
+def test_full_vsftpd_chain_via_registry():
+    _, mvedsua, client = vsftpd_deployment()
+
+    def validate(deployment, now):
+        client.retr(deployment, "f.txt", now=now)
+
+    result = upgrade_chain(
+        mvedsua, vsftpd_registry(), "vsftpd",
+        version_factory=vsftpd_version,
+        rules_factory=vsftpd_rules,
+        start_at=SECOND, validate=validate)
+    assert result.completed
+    assert result.final_version == "2.0.6"
+    assert len(result.steps) == 13
+
+
+def test_chain_stops_at_target():
+    _, mvedsua, _ = vsftpd_deployment()
+    result = upgrade_chain(
+        mvedsua, vsftpd_registry(), "vsftpd",
+        version_factory=vsftpd_version,
+        rules_factory=vsftpd_rules,
+        start_at=SECOND, target="1.2.0")
+    assert result.final_version == "1.2.0"
+    assert len(result.steps) == 4
+
+
+def test_chain_stops_on_divergence():
+    """Missing rules abort the chain at the first pair that needs them,
+    leaving the last good version serving."""
+    _, mvedsua, client = vsftpd_deployment()
+
+    def validate(deployment, now):
+        client.command(deployment, b"SYST", now=now)  # trips text deltas
+
+    result = upgrade_chain(
+        mvedsua, vsftpd_registry(), "vsftpd",
+        version_factory=vsftpd_version,
+        rules_factory=lambda old, new: RuleSet(),  # no rules at all
+        start_at=SECOND, validate=validate)
+    assert not result.completed
+    # 1.1.0 -> 1.1.1 needs no rules and completes; 1.1.1 -> 1.1.2 (the
+    # banner/SYST rewording) diverges and stops the chain.
+    assert result.final_version == "1.1.1"
+    assert result.steps[-1].completed is False
+    assert "rolled back" in result.steps[-1].detail
+
+
+def test_redis_chain_via_registry():
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0"))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                      transforms=redis_transforms())
+    client = VirtualClient(kernel, server.address)
+    client.command(mvedsua, b"SET durable value")
+
+    def validate(deployment, now):
+        client.command(deployment, b"SET probe 1", now=now)
+        client.command(deployment, b"GET durable", now=now)
+
+    result = upgrade_chain(
+        mvedsua, redis_registry(), "redis",
+        version_factory=redis_version,
+        rules_factory=redis_rules,
+        start_at=SECOND, validate=validate)
+    assert result.completed
+    assert result.final_version == "2.0.3"
+    assert client.command(mvedsua, b"GET durable",
+                          now=100 * SECOND) == b"$5\r\nvalue\r\n"

@@ -1,0 +1,132 @@
+"""Tests for the operator console and the auto-pilot policy."""
+
+import pytest
+
+from repro.core import AutoPilot, Mvedsua, OperatorConsole, Stage
+from repro.dsu.transform import TransformRegistry
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    kv_rules,
+    kv_transforms,
+    xform_drop_table,
+)
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def deployment(transforms=None):
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
+                      transforms=transforms or kv_transforms())
+    client = VirtualClient(kernel, server.address)
+    return mvedsua, client
+
+
+class TestOperatorConsole:
+    def test_single_leader_status(self):
+        mvedsua, client = deployment()
+        client.command(mvedsua, b"PUT k v")
+        status = OperatorConsole(mvedsua).status()
+        assert status.stage == "single-leader"
+        assert status.serving_version == "1.0"
+        assert status.validating_version is None
+        assert status.divergence is None
+        assert status.updates_completed == 0
+
+    def test_outdated_leader_status(self):
+        mvedsua, client = deployment()
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        client.command(mvedsua, b"PUT-number x 1", now=2 * SECOND)
+        status = OperatorConsole(mvedsua).status()
+        assert status.stage == "outdated-leader"
+        assert status.serving_version == "1.0"
+        assert status.validating_version == "2.0"
+        assert status.rules_fired >= 1
+
+    def test_rollback_counted(self):
+        registry = TransformRegistry()
+        registry.register("kvstore", "1.0", "2.0", xform_drop_table)
+        mvedsua, client = deployment(transforms=registry)
+        client.command(mvedsua, b"PUT k v")
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        client.command(mvedsua, b"GET k", now=2 * SECOND)
+        status = OperatorConsole(mvedsua).status()
+        assert status.updates_rolled_back == 1
+        assert status.divergence is not None
+
+    def test_render_status_is_one_screen(self):
+        mvedsua, client = deployment()
+        text = OperatorConsole(mvedsua).render_status()
+        assert "stage:" in text and "serving:" in text
+        assert len(text.splitlines()) <= 10
+
+
+class TestAutoPilot:
+    def drive(self, mvedsua, client, pilot, *, seconds, start):
+        """Issue one request per virtual second, observing after each."""
+        actions = []
+        for tick in range(seconds):
+            now = (start + tick) * SECOND
+            client.command(mvedsua, b"PUT k%d v" % tick, now=now)
+            action = pilot.observe(now)
+            if action:
+                actions.append((tick, action))
+        return actions
+
+    def test_full_auto_lifecycle(self):
+        mvedsua, client = deployment()
+        pilot = AutoPilot(mvedsua, warmup_ns=5 * SECOND,
+                          min_validated_requests=3,
+                          confirm_ns=5 * SECOND)
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        actions = self.drive(mvedsua, client, pilot, seconds=30, start=2)
+        kinds = [action for _, action in actions]
+        assert kinds == ["promoted", "finalized"]
+        assert mvedsua.stage is Stage.SINGLE_LEADER
+        assert mvedsua.current_version == "2.0"
+        assert mvedsua.last_outcome().succeeded()
+
+    def test_does_not_promote_before_warmup(self):
+        mvedsua, client = deployment()
+        pilot = AutoPilot(mvedsua, warmup_ns=3600 * SECOND,
+                          min_validated_requests=1)
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        actions = self.drive(mvedsua, client, pilot, seconds=10, start=2)
+        assert actions == []
+        assert mvedsua.stage is Stage.OUTDATED_LEADER
+
+    def test_does_not_promote_without_traffic(self):
+        mvedsua, client = deployment()
+        pilot = AutoPilot(mvedsua, warmup_ns=1 * SECOND,
+                          min_validated_requests=50)
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        # Plenty of time passes but only 5 requests are validated.
+        for tick in range(5):
+            client.command(mvedsua, b"PUT k%d v" % tick,
+                           now=(10 + tick * 100) * SECOND)
+            assert pilot.observe((10 + tick * 100) * SECOND) is None
+        assert mvedsua.stage is Stage.OUTDATED_LEADER
+
+    def test_idle_in_single_leader(self):
+        mvedsua, client = deployment()
+        pilot = AutoPilot(mvedsua)
+        assert pilot.observe(SECOND) is None
+
+    def test_rollback_resets_the_pilot(self):
+        registry = TransformRegistry()
+        registry.register("kvstore", "1.0", "2.0", xform_drop_table)
+        mvedsua, client = deployment(transforms=registry)
+        client.command(mvedsua, b"PUT seed v")
+        pilot = AutoPilot(mvedsua, warmup_ns=SECOND,
+                          min_validated_requests=1)
+        mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+        # The divergence rolls the update back before any promotion.
+        client.command(mvedsua, b"GET seed", now=10 * SECOND)
+        assert pilot.observe(10 * SECOND) is None
+        assert mvedsua.stage is Stage.SINGLE_LEADER

@@ -1,0 +1,104 @@
+"""Tests for update post-mortems."""
+
+import pytest
+
+from repro.core import Mvedsua
+from repro.core.report import post_mortems, render_history
+from repro.dsu.transform import TransformRegistry
+from repro.errors import ServerCrash
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    kv_rules,
+    kv_transforms,
+    xform_drop_table,
+)
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def deployment(transforms=None, version=None):
+    kernel = VirtualKernel()
+    server = KVStoreServer(version or KVStoreV1())
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
+                      transforms=transforms or kv_transforms())
+    client = VirtualClient(kernel, server.address)
+    return mvedsua, client
+
+
+def test_no_history():
+    mvedsua, _ = deployment()
+    assert post_mortems(mvedsua) == []
+    assert render_history(mvedsua) == "no completed update attempts"
+
+
+def test_finalized_update_post_mortem():
+    mvedsua, client = deployment()
+    client.command(mvedsua, b"PUT a 1")
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET a", now=2 * SECOND)
+    mvedsua.promote(3 * SECOND)
+    mvedsua.finalize(4 * SECOND)
+    reports = post_mortems(mvedsua)
+    assert len(reports) == 1
+    report = reports[0]
+    assert report.outcome == "finalized"
+    assert report.trigger is None
+    assert report.duration_ns() > 0
+    text = report.render()
+    assert "t1 forked" in text and "t6 finalized" in text
+
+
+def test_rolled_back_post_mortem_names_the_divergence():
+    registry = TransformRegistry()
+    registry.register("kvstore", "1.0", "2.0", xform_drop_table)
+    mvedsua, client = deployment(transforms=registry)
+    client.command(mvedsua, b"PUT k v")
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET k", now=2 * SECOND)
+    report = post_mortems(mvedsua)[0]
+    assert report.outcome == "rolled-back"
+    assert report.trigger is not None
+    assert "divergence" in report.trigger
+    assert "rolled back" in report.render()
+
+
+def test_failover_post_mortem():
+    class CrashV1(KVStoreV1):
+        def handle(self, heap, request, session=None, io=None):
+            if request.startswith(b"BOOM"):
+                raise ServerCrash("old bug")
+            return super().handle(heap, request, session, io)
+
+    mvedsua, client = deployment(version=CrashV1())
+    client.command(mvedsua, b"PUT a 1")
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"BOOM", now=2 * SECOND)
+    report = post_mortems(mvedsua)[0]
+    assert report.outcome == "failed-over (old-version crash)"
+    assert "leader-crash" in report.trigger
+
+
+def test_multiple_attempts_reported_in_order():
+    registry = TransformRegistry()
+    registry.register("kvstore", "1.0", "2.0", xform_drop_table)
+    mvedsua, client = deployment(transforms=registry)
+    client.command(mvedsua, b"PUT k v")
+    # Attempt 1: rolls back on divergence.
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET k", now=2 * SECOND)
+    # Attempt 2 with the fixed transformer: succeeds.
+    mvedsua.kitsune.transforms = kv_transforms()
+    mvedsua.request_update(KVStoreV2(), 10 * SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET k", now=11 * SECOND)
+    mvedsua.promote(12 * SECOND)
+    mvedsua.finalize(13 * SECOND)
+    reports = post_mortems(mvedsua)
+    assert [r.outcome for r in reports] == ["rolled-back", "finalized"]
+    assert reports[0].index == 0 and reports[1].index == 1
+    history_text = render_history(mvedsua)
+    assert "update #0" in history_text and "update #1" in history_text

@@ -1,0 +1,120 @@
+"""The textual DSL and the programmatic rule API must behave identically.
+
+The paper's artefact publishes its rules in Varan's textual DSL; this
+repository builds them programmatically and keeps a DSL rendering next
+to them.  These tests run *both* formulations through the full MVE stack
+and require identical outcomes.
+"""
+
+import pytest
+
+from repro.mve import VaranRuntime
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    kv_rules,
+    xform_1_to_2,
+)
+from repro.servers.kvstore.rules import kv_rules_from_dsl
+from repro.servers.redis import RedisServer, redis_rules, redis_version
+from repro.servers.redis.rules import redis_rules_from_dsl
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def run_kv_scenario(rules):
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           rules=rules)
+    client = VirtualClient(kernel, server.address)
+    client.command(runtime, b"PUT a 1")
+    child = server.fork()
+    child.apply_version(KVStoreV2(), xform_1_to_2(dict(child.heap)))
+    runtime.fork_follower(0, server=child)
+    replies = [
+        client.command(runtime, b"PUT b 2", now=10**9),
+        client.command(runtime, b"PUT-number pi 3", now=2 * 10**9),
+        client.command(runtime, b"TYPE a", now=3 * 10**9),
+        client.command(runtime, b"GET b", now=4 * 10**9),
+    ]
+    runtime.drain_follower()
+    post_promote = []
+    if runtime.follower is not None:
+        runtime.promote(5 * 10**9)
+        post_promote.append(
+            client.command(runtime, b"PUT-string s v", now=6 * 10**9))
+        runtime.drain_follower()
+    return (replies, post_promote, runtime.last_divergence is None,
+            sorted(set(runtime.rules_fired)),
+            runtime.leader.server.heap)
+
+
+def run_redis_scenario(rules):
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0"))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                           rules=rules)
+    client = VirtualClient(kernel, server.address)
+    child = server.fork()
+    child.apply_version(redis_version("2.0.1"), dict(child.heap))
+    runtime.fork_follower(0, server=child)
+    replies = [
+        client.command(runtime, b"SET k v", now=10**9),
+        client.command(runtime, b"GET k", now=2 * 10**9),
+        client.command(runtime, b"LPUSH l x", now=3 * 10**9),
+    ]
+    runtime.drain_follower()
+    post_promote = []
+    if runtime.follower is not None:
+        runtime.promote(4 * 10**9)
+        post_promote.append(
+            client.command(runtime, b"SET k2 w", now=5 * 10**9))
+        runtime.drain_follower()
+    return (replies, post_promote, runtime.last_divergence is None,
+            runtime.leader.server.heap["db"])
+
+
+class TestKvEquivalence:
+    def test_same_outcomes(self):
+        programmatic = run_kv_scenario(kv_rules())
+        from_dsl = run_kv_scenario(kv_rules_from_dsl())
+        assert programmatic[0] == from_dsl[0]   # replies
+        assert programmatic[1] == from_dsl[1]   # post-promotion replies
+        assert programmatic[2] and from_dsl[2]  # both divergence-free
+        assert programmatic[4] == from_dsl[4]   # final leader heap
+
+    def test_same_rule_counts(self):
+        assert len(kv_rules()) == len(kv_rules_from_dsl())
+
+
+class TestRedisEquivalence:
+    def test_same_outcomes(self):
+        programmatic = run_redis_scenario(redis_rules("2.0.0", "2.0.1"))
+        from_dsl = run_redis_scenario(redis_rules_from_dsl("2.0.0", "2.0.1"))
+        assert programmatic[0] == from_dsl[0]
+        assert programmatic[1] == from_dsl[1]
+        assert programmatic[2] and from_dsl[2]
+        assert programmatic[3] == from_dsl[3]
+
+    def test_no_rules_for_other_pairs(self):
+        assert len(redis_rules_from_dsl("2.0.1", "2.0.2")) == 0
+
+    def test_dsl_rules_fire(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                               rules=redis_rules_from_dsl("2.0.0", "2.0.1"))
+        client = VirtualClient(kernel, server.address)
+        child = server.fork()
+        child.apply_version(redis_version("2.0.1"), dict(child.heap))
+        runtime.fork_follower(0, server=child)
+        client.command(runtime, b"SET k v", now=10**9)
+        runtime.drain_follower()
+        assert "aof_order" in runtime.rules_fired
+        assert runtime.last_divergence is None

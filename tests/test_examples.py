@@ -1,0 +1,36 @@
+"""Every example script must run to completion (guards against rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+def test_all_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # examples narrate what they do
+
+
+def test_quickstart_shows_the_lifecycle():
+    quickstart = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    result = subprocess.run([sys.executable, str(quickstart)],
+                            capture_output=True, text=True, timeout=120)
+    out = result.stdout
+    assert "single-leader stage" in out
+    assert "update requested" in out
+    assert "promoted" in out
+    assert "update succeeded: True" in out

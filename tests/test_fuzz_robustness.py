@@ -1,0 +1,114 @@
+"""Robustness fuzzing: servers must never crash on hostile input.
+
+Only *injected* bugs may raise :class:`ServerCrash`; arbitrary garbage
+from the network must always produce a (possibly error) response or be
+buffered as an incomplete request.  This is both a quality property of
+the protocol implementations and an MVE prerequisite — a leader that
+crashed on malformed input would look like an old-version bug.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import VirtualKernel
+from repro.servers.kvstore import KVStoreServer, KVStoreV2
+from repro.servers.memcached import MemcachedServer, memcached_version
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.servers.vsftpd import VsftpdServer, vsftpd_version
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+# Printable-ish garbage plus CRLFs so framing terminates.
+garbage_lines = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=30).map(lambda s: s.encode() + b"\r\n"),
+    min_size=1, max_size=8)
+
+raw_bytes = st.binary(max_size=64).map(lambda b: b + b"\r\n")
+
+
+def drive(server_factory, profile_name, payloads):
+    kernel = VirtualKernel()
+    server = server_factory()
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES[profile_name])
+    client = VirtualClient(kernel, server.address)
+    now = 0
+    for payload in payloads:
+        _, now = client.request(runtime, payload, now)
+    return True
+
+
+@settings(max_examples=40, deadline=None)
+@given(garbage_lines)
+def test_kvstore_survives_garbage(lines):
+    assert drive(lambda: KVStoreServer(KVStoreV2()), "kvstore", lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(garbage_lines)
+def test_redis_survives_garbage(lines):
+    assert drive(lambda: RedisServer(redis_version("2.0.3")), "redis",
+                 lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(garbage_lines)
+def test_vsftpd_survives_garbage(lines):
+    assert drive(lambda: VsftpdServer(vsftpd_version("2.0.6")),
+                 "vsftpd-small", lines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(raw_bytes, min_size=1, max_size=5))
+def test_redis_survives_binary_noise(blobs):
+    assert drive(lambda: RedisServer(redis_version("2.0.0")), "redis",
+                 blobs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(garbage_lines)
+def test_memcached_survives_garbage(lines):
+    # Memcached framing treats some garbage as pending storage headers;
+    # cap the declared sizes so the buffer terminates within the test.
+    safe = [line for line in lines
+            if not line.split(b" ")[0]
+            in (b"set", b"add", b"replace", b"append", b"prepend", b"cas")]
+    if not safe:
+        safe = [b"bogus\r\n"]
+    assert drive(lambda: MemcachedServer(memcached_version("1.2.4")),
+                 "memcached", safe)
+
+
+def test_memcached_malformed_storage_header():
+    kernel = VirtualKernel()
+    server = MemcachedServer(memcached_version("1.2.4"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["memcached"])
+    client = VirtualClient(kernel, server.address)
+    # Non-numeric byte count: rejected instead of wedging the parser.
+    reply, _ = client.request(runtime, b"set k 0 0 huge\r\n", 0)
+    assert reply == b"ERROR\r\n"
+    # The connection still works afterwards.
+    reply, _ = client.request(runtime, b"set k 0 0 1\r\nv\r\n", 10)
+    assert reply == b"STORED\r\n"
+
+
+def test_vsftpd_pathological_paths():
+    kernel = VirtualKernel()
+    kernel.fs.write_file("/safe.txt", b"ok")
+    server = VsftpdServer(vsftpd_version("2.0.6"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["vsftpd-small"])
+    client = VirtualClient(kernel, server.address)
+    from repro.workloads.ftpclient import FtpClient
+    ftp = FtpClient(kernel, server.address)
+    ftp.login(runtime)
+    for path in (b"../../../../etc/passwd", b"./..", b"//", b"."):
+        reply = ftp.command(runtime, b"SIZE " + path)
+        assert reply.startswith((b"550", b"213"))
+    # Traversal normalises within the virtual root.
+    assert ftp.command(runtime, b"CWD ../..") == \
+        b"250 Directory successfully changed.\r\n"
+    assert ftp.command(runtime, b"PWD") == b'257 "/"\r\n'

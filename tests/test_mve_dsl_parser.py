@@ -1,0 +1,175 @@
+"""Unit tests for the textual rule DSL parser."""
+
+import pytest
+
+from repro.errors import DslSyntaxError
+from repro.mve.dsl import Direction, RuleEngine, parse_rules
+from repro.syscalls.model import Sys, read_record, write_record
+
+
+def apply_one(rule_text, records):
+    rules = parse_rules(rule_text)
+    engine = RuleEngine(rules)
+    out = []
+    for record in records:
+        engine.offer(record)
+        while engine.has_ready():
+            out.append(engine.next_expected())
+    engine.flush()
+    while engine.has_ready():
+        out.append(engine.next_expected())
+    return out
+
+
+def test_figure4_rule1_redirect():
+    text = r'''
+    # Figure 4, Rule 1
+    rule put_typed outdated-leader:
+        read(fd, s) where startswith(s, "PUT-") => read(fd, "bad-cmd\r\n")
+    '''
+    out = apply_one(text, [read_record(4, b"PUT-number balance 1001\r\n")])
+    assert out[0].data == b"bad-cmd\r\n"
+    assert out[0].fd == 4
+    assert out[0].name is Sys.READ
+
+
+def test_figure4_rule2_replace_prefix():
+    text = r'''
+    rule put_untyped:
+        read(fd, s) where startswith(s, "PUT ")
+            => read(fd, replace_prefix(s, "PUT ", "PUT-string "))
+    '''
+    out = apply_one(text, [read_record(4, b"PUT k1 v1\r\n")])
+    assert out[0].data == b"PUT-string k1 v1\r\n"
+
+
+def test_figure5_stou_two_record_rule():
+    text = r'''
+    rule stou outdated-leader:
+        read(fd, s), write(fd2, r) where r == "500 Unknown command.\r\n"
+            => read(fd, "FOOBAR\r\n"), write(fd2, r)
+    '''
+    out = apply_one(text, [
+        read_record(4, b"STOU\r\n"),
+        write_record(4, b"500 Unknown command.\r\n"),
+    ])
+    assert [r.data for r in out] == [b"FOOBAR\r\n", b"500 Unknown command.\r\n"]
+
+
+def test_merge_with_concatenation():
+    text = r'''
+    rule banner both:
+        write(fd, a), write(fd2, b) where startswith(a, "220-")
+            => write(fd, a + b)
+    '''
+    out = apply_one(text, [
+        write_record(4, b"220-hello\r\n"),
+        write_record(4, b"220 ready\r\n"),
+    ])
+    assert len(out) == 1
+    assert out[0].data == b"220-hello\r\n220 ready\r\n"
+
+
+def test_swap_emits_in_reverse_order():
+    text = r'''
+    rule aof_order:
+        write(f1, a), write(f2, b) where startswith(b, "*")
+            => write(f2, b), write(f1, a)
+    '''
+    out = apply_one(text, [
+        write_record(4, b"+OK\r\n"),
+        write_record(9, b"*aof\r\n"),
+    ])
+    assert [(r.fd, r.data) for r in out] == [(9, b"*aof\r\n"), (4, b"+OK\r\n")]
+
+
+def test_replace_function():
+    text = r'''
+    rule reword:
+        write(fd, s) where contains(s, "Goodbye")
+            => write(fd, replace(s, "Goodbye", "221 Goodbye"))
+    '''
+    out = apply_one(text, [write_record(1, b"Goodbye.\r\n")])
+    assert out[0].data == b"221 Goodbye.\r\n"
+
+
+def test_directions_parsed():
+    text = '''
+    rule fwd outdated-leader:
+        read(fd, s) where s == "x" => read(fd, "y")
+    rule rev updated-leader:
+        read(fd, s) where s == "y" => read(fd, "x")
+    rule any both:
+        read(fd, s) where s == "z" => read(fd, "z")
+    '''
+    rules = parse_rules(text)
+    assert [r.direction for r in rules] == [
+        Direction.OUTDATED_LEADER, Direction.UPDATED_LEADER, Direction.BOTH]
+
+
+def test_default_direction_is_outdated_leader():
+    rules = parse_rules('rule r: read(fd, s) => read(fd, "x")')
+    assert rules[0].direction is Direction.OUTDATED_LEADER
+
+
+def test_multiple_conditions_with_and():
+    text = '''
+    rule narrow:
+        read(fd, s) where startswith(s, "PUT") and contains(s, "balance")
+            => read(fd, "bad")
+    '''
+    rules = parse_rules(text)
+    out = apply_one(text, [read_record(1, b"PUT balance 5")])
+    assert out[0].data == b"bad"
+    out = apply_one(text, [read_record(1, b"PUT other 5")])
+    assert out[0].data == b"PUT other 5"
+    assert len(rules) == 1
+
+
+def test_not_equal_condition():
+    text = '''
+    rule ne:
+        read(fd, s) where s != "PING" => read(fd, "nope")
+    '''
+    assert apply_one(text, [read_record(1, b"PING")])[0].data == b"PING"
+    assert apply_one(text, [read_record(1, b"PONG")])[0].data == b"nope"
+
+
+def test_comments_and_blank_lines_ignored():
+    text = '''
+
+    # leading comment
+    rule r:  # trailing comment
+        read(fd, s) => read(fd, s)
+    '''
+    assert len(parse_rules(text)) == 1
+
+
+class TestSyntaxErrors:
+    def test_unknown_syscall(self):
+        with pytest.raises(DslSyntaxError, match="unknown syscall"):
+            parse_rules('rule r: ioctl(fd, s) => read(fd, s)')
+
+    def test_unbound_variable_in_emit(self):
+        with pytest.raises(DslSyntaxError, match="unbound"):
+            parse_rules('rule r: read(fd, s) => read(fd, t)')
+
+    def test_unbound_fd_variable(self):
+        with pytest.raises(DslSyntaxError, match="unbound fd"):
+            parse_rules('rule r: read(fd, s) => read(other, s)')
+
+    def test_missing_arrow(self):
+        with pytest.raises(DslSyntaxError):
+            parse_rules('rule r: read(fd, s)')
+
+    def test_bad_operator(self):
+        with pytest.raises(DslSyntaxError, match="unknown operator"):
+            parse_rules('rule r: read(fd, s) where s + "x" => read(fd, s)')
+
+    def test_unbound_condition_variable(self):
+        with pytest.raises(DslSyntaxError, match="unbound"):
+            parse_rules('rule r: read(fd, s) where t == "x" => read(fd, s)')
+
+    def test_garbage_input(self):
+        with pytest.raises(DslSyntaxError):
+            parse_rules('rule ???')

@@ -1,0 +1,179 @@
+"""Unit tests for the syscall gateways (direct and replay roles)."""
+
+from collections import deque
+
+import pytest
+
+from repro.errors import DivergenceError
+from repro.mve.gateway import GatewayRole, SyscallGateway
+from repro.net import VirtualKernel
+from repro.syscalls.model import Sys, SyscallRecord
+
+ADDR = ("10.0.0.1", 80)
+
+
+@pytest.fixture
+def kernel():
+    return VirtualKernel()
+
+
+@pytest.fixture
+def direct(kernel):
+    domain = kernel.create_domain()
+    return SyscallGateway(kernel, domain, GatewayRole.DIRECT)
+
+
+def make_replay(kernel, expected):
+    domain = kernel.create_domain()
+    gateway = SyscallGateway(kernel, domain, GatewayRole.REPLAY)
+    queue = deque(expected)
+    gateway.expected_source = lambda: queue.popleft() if queue else None
+    gateway.begin_iteration()
+    return gateway
+
+
+class TestDirectRole:
+    def test_socket_lifecycle_traced(self, kernel, direct):
+        listen_fd = direct.listen(ADDR)
+        client_domain = kernel.create_domain()
+        client_fd = kernel.connect(client_domain, ADDR)
+        fd = direct.accept(listen_fd)
+        kernel.write(client_domain, client_fd, b"hi")
+        assert direct.read(fd) == b"hi"
+        direct.write(fd, b"yo")
+        direct.close(fd)
+        names = [record.name for record in direct.trace.records]
+        assert names == [Sys.LISTEN, Sys.ACCEPT, Sys.READ, Sys.WRITE,
+                         Sys.CLOSE]
+        assert direct.trace.bytes_transferred == 4
+
+    def test_epoll_ctl_is_untraced_kernel_state(self, kernel, direct):
+        listen_fd = direct.listen(ADDR)
+        epfd = kernel.epoll_create(direct.domain)
+        direct.begin_iteration()
+        direct.epoll_ctl(epfd, listen_fd, add=True)
+        assert direct.trace.records == []
+
+    def test_epoll_wait_records_ready_set(self, kernel, direct):
+        listen_fd = direct.listen(ADDR)
+        epfd = kernel.epoll_create(direct.domain)
+        direct.epoll_ctl(epfd, listen_fd, add=True)
+        kernel.connect(kernel.create_domain(), ADDR)
+        direct.begin_iteration()
+        ready = direct.epoll_wait(epfd)
+        assert ready == [listen_fd]
+        record = direct.trace.records[0]
+        assert record.name is Sys.EPOLL_WAIT
+        assert record.result == (listen_fd,)
+
+    def test_fs_ops_traced_and_applied(self, kernel, direct):
+        direct.begin_iteration()
+        direct.fs_write("/f", b"data")
+        assert kernel.fs.read_file("/f") == b"data"
+        assert direct.fs_read("/f") == b"data"
+        assert direct.fs_stat("/f") == 4
+        direct.fs_rename("/f", "/g")
+        direct.fs_append("/g", b"+more")
+        assert kernel.fs.read_file("/g") == b"data+more"
+        direct.fs_unlink("/g")
+        assert not kernel.fs.exists("/g")
+        assert direct.fs_stat("/g") is None
+        names = [r.name for r in direct.trace.records]
+        assert Sys.RENAME in names and Sys.UNLINK in names
+
+    def test_fs_dir_ops(self, kernel, direct):
+        direct.begin_iteration()
+        direct.fs_mkdir("/d")
+        assert direct.fs_is_dir("/d")
+        assert direct.fs_listdir("/") == ["d"]
+        direct.fs_rmdir("/d")
+        assert not kernel.fs.is_dir("/d")
+
+    def test_note_request_counts(self, direct):
+        direct.begin_iteration()
+        direct.note_request()
+        direct.note_request(2)
+        assert direct.trace.requests_handled == 3
+
+
+class TestReplayRole:
+    def test_read_serves_recorded_data(self, kernel):
+        expected = [SyscallRecord(Sys.READ, fd=4, data=b"GET k\r\n",
+                                  result=7)]
+        gateway = make_replay(kernel, expected)
+        assert gateway.read(4) == b"GET k\r\n"
+        gateway.finish_iteration()
+
+    def test_matching_write_accepted(self, kernel):
+        expected = [SyscallRecord(Sys.WRITE, fd=4, data=b"+OK\r\n",
+                                  result=5)]
+        gateway = make_replay(kernel, expected)
+        assert gateway.write(4, b"+OK\r\n") == 5
+        gateway.finish_iteration()
+
+    def test_mismatched_write_data_diverges(self, kernel):
+        expected = [SyscallRecord(Sys.WRITE, fd=4, data=b"+OK\r\n")]
+        gateway = make_replay(kernel, expected)
+        with pytest.raises(DivergenceError, match="mismatch"):
+            gateway.write(4, b"-ERR\r\n")
+
+    def test_mismatched_fd_diverges(self, kernel):
+        expected = [SyscallRecord(Sys.WRITE, fd=4, data=b"x")]
+        gateway = make_replay(kernel, expected)
+        with pytest.raises(DivergenceError):
+            gateway.write(9, b"x")
+
+    def test_extra_syscall_diverges(self, kernel):
+        gateway = make_replay(kernel, [])
+        with pytest.raises(DivergenceError, match="extra"):
+            gateway.write(4, b"anything")
+
+    def test_missing_syscall_diverges_at_iteration_end(self, kernel):
+        expected = [SyscallRecord(Sys.WRITE, fd=4, data=b"x")]
+        gateway = make_replay(kernel, expected)
+        with pytest.raises(DivergenceError, match="fewer"):
+            gateway.finish_iteration()
+
+    def test_accept_returns_recorded_fd(self, kernel):
+        expected = [SyscallRecord(Sys.ACCEPT, fd=3, result=7)]
+        gateway = make_replay(kernel, expected)
+        assert gateway.accept(3) == 7
+
+    def test_listen_returns_recorded_fd(self, kernel):
+        expected = [SyscallRecord(Sys.LISTEN, data=b"127.0.0.1:20000",
+                                  result=9)]
+        gateway = make_replay(kernel, expected)
+        assert gateway.listen(("127.0.0.1", 20000)) == 9
+
+    def test_epoll_wait_returns_recorded_ready_set(self, kernel):
+        expected = [SyscallRecord(Sys.EPOLL_WAIT, fd=3, result=(5, 6))]
+        gateway = make_replay(kernel, expected)
+        assert gateway.epoll_wait(3) == [5, 6]
+
+    def test_replay_never_touches_kernel(self, kernel):
+        expected = [
+            SyscallRecord(Sys.OPEN, data=b"/f", result=0),
+            SyscallRecord(Sys.WRITE, fd=-2, data=b"data", result=4),
+        ]
+        gateway = make_replay(kernel, expected)
+        gateway.fs_write("/f", b"data")
+        # The virtual fs was NOT modified: the leader already did it.
+        assert not kernel.fs.exists("/f")
+
+    def test_replay_fs_read_serves_recorded_content(self, kernel):
+        expected = [
+            SyscallRecord(Sys.OPEN, data=b"/f", result=0),
+            SyscallRecord(Sys.READ, fd=-2, data=b"contents", result=8),
+        ]
+        gateway = make_replay(kernel, expected)
+        assert gateway.fs_read("/f") == b"contents"
+
+    def test_replay_stat_serves_recorded_result(self, kernel):
+        expected = [SyscallRecord(Sys.STAT, data=b"/f", result=123)]
+        gateway = make_replay(kernel, expected)
+        assert gateway.fs_stat("/f") == 123
+
+    def test_epoll_ctl_is_a_noop(self, kernel):
+        gateway = make_replay(kernel, [])
+        gateway.epoll_ctl(3, 4, add=True)  # must not touch the kernel
+        gateway.finish_iteration()

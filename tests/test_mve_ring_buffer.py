@@ -1,0 +1,123 @@
+"""Unit and property tests for the MVE ring buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.mve import ControlEvent, ControlKind, RingBuffer
+from repro.mve.ring_buffer import BufferFull
+from repro.syscalls.model import write_record
+
+
+def rec(i):
+    return write_record(4, f"payload-{i}".encode())
+
+
+def test_push_pop_fifo():
+    ring = RingBuffer(capacity=8)
+    for i in range(5):
+        ring.push(rec(i), produced_at=i * 10)
+    out = [ring.pop() for _ in range(5)]
+    assert [e.payload.data for e in out] == [rec(i).data for i in range(5)]
+    assert [e.produced_at for e in out] == [0, 10, 20, 30, 40]
+
+
+def test_push_when_full_raises():
+    ring = RingBuffer(capacity=2)
+    ring.push(rec(0), 0)
+    ring.push(rec(1), 0)
+    assert ring.is_full()
+    with pytest.raises(BufferFull):
+        ring.push(rec(2), 0)
+
+
+def test_pop_frees_slot():
+    ring = RingBuffer(capacity=1)
+    ring.push(rec(0), 0)
+    ring.pop()
+    ring.push(rec(1), 0)  # must not raise
+    assert len(ring) == 1
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        RingBuffer(capacity=4).pop()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimulationError):
+        RingBuffer(capacity=0)
+
+
+def test_peek_does_not_consume():
+    ring = RingBuffer(capacity=4)
+    ring.push(rec(0), 0)
+    ring.push(rec(1), 0)
+    assert ring.peek(0).payload.data == rec(0).data
+    assert ring.peek(1).payload.data == rec(1).data
+    assert ring.peek(2) is None
+    assert len(ring) == 2
+
+
+def test_sequence_numbers_are_global():
+    ring = RingBuffer(capacity=2)
+    ring.push(rec(0), 0)
+    ring.pop()
+    entry = ring.push(rec(1), 0)
+    assert entry.sequence == 1
+
+
+def test_counters_and_watermark():
+    ring = RingBuffer(capacity=4)
+    for i in range(3):
+        ring.push(rec(i), 0)
+    ring.pop()
+    assert ring.produced_total == 3
+    assert ring.consumed_total == 1
+    assert ring.high_watermark == 3
+
+
+def test_clear_counts_as_consumption():
+    ring = RingBuffer(capacity=4)
+    for i in range(3):
+        ring.push(rec(i), 0)
+    ring.clear()
+    assert ring.is_empty()
+    assert ring.consumed_total == 3
+
+
+def test_control_events_flow_through():
+    ring = RingBuffer(capacity=4)
+    ring.push(rec(0), 0)
+    ring.push(ControlEvent(ControlKind.PROMOTE), 5)
+    ring.pop()
+    event = ring.pop().payload
+    assert isinstance(event, ControlEvent)
+    assert event.kind is ControlKind.PROMOTE
+    assert "promote" in event.describe()
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 100)), max_size=200),
+       st.integers(1, 16))
+def test_fifo_invariant_under_random_ops(ops, capacity):
+    """Pops always return pushes in order; occupancy never exceeds capacity."""
+    ring = RingBuffer(capacity=capacity)
+    pushed = []
+    popped = []
+    counter = 0
+    for is_push, _ in ops:
+        if is_push:
+            if ring.is_full():
+                with pytest.raises(BufferFull):
+                    ring.push(rec(counter), counter)
+            else:
+                ring.push(rec(counter), counter)
+                pushed.append(counter)
+                counter += 1
+        else:
+            if not ring.is_empty():
+                popped.append(ring.pop().produced_at)
+        assert len(ring) <= capacity
+    assert popped == pushed[:len(popped)]
+    assert ring.produced_total == len(pushed)
+    assert ring.consumed_total == len(popped)

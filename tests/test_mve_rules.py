@@ -1,0 +1,178 @@
+"""Unit tests for the rewrite-rule engine and rule constructors."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.mve.dsl import (
+    Direction,
+    RewriteRule,
+    RuleEngine,
+    RuleSet,
+    SyscallPattern,
+    merge_writes,
+    redirect_read,
+    rewrite_read,
+    rewrite_write,
+    split_write,
+    swap_adjacent,
+)
+from repro.syscalls.model import Sys, read_record, write_record
+
+
+def run_engine(rules, records):
+    """Feed all records through an engine and collect the output."""
+    engine = RuleEngine(rules)
+    out = []
+    for record in records:
+        engine.offer(record)
+        while engine.has_ready():
+            out.append(engine.next_expected())
+    engine.flush()
+    while engine.has_ready():
+        out.append(engine.next_expected())
+    return engine, out
+
+
+class TestPatterns:
+    def test_name_and_fd_matching(self):
+        pattern = SyscallPattern(Sys.READ, fd=7)
+        assert pattern.matches(read_record(7, b"x"))
+        assert not pattern.matches(read_record(8, b"x"))
+        assert not pattern.matches(write_record(7, b"x"))
+
+    def test_predicate(self):
+        pattern = SyscallPattern(Sys.READ,
+                                 predicate=lambda d: d.startswith(b"PUT"))
+        assert pattern.matches(read_record(1, b"PUT k v"))
+        assert not pattern.matches(read_record(1, b"GET k"))
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(RuleError):
+            RewriteRule("empty", [], lambda m: m)
+
+
+class TestPassThrough:
+    def test_no_rules_is_identity(self):
+        records = [read_record(1, b"GET k"), write_record(1, b"+OK")]
+        _, out = run_engine([], records)
+        assert [r.data for r in out] == [b"GET k", b"+OK"]
+
+    def test_non_matching_rule_is_identity(self):
+        rule = redirect_read("r", lambda d: d.startswith(b"NOPE"), b"bad")
+        _, out = run_engine([rule], [read_record(1, b"GET k")])
+        assert out[0].data == b"GET k"
+
+
+class TestSingleRecordRules:
+    def test_redirect_read(self):
+        # Figure 4 Rule 1: typed PUT becomes an invalid command.
+        rule = redirect_read("put_typed", lambda d: d.startswith(b"PUT-"),
+                             b"bad-cmd\r\n")
+        engine, out = run_engine(
+            [rule], [read_record(4, b"PUT-number balance 1001\r\n")])
+        assert out[0].data == b"bad-cmd\r\n"
+        assert out[0].fd == 4
+        assert engine.fired == ["put_typed"]
+
+    def test_rewrite_read(self):
+        # Figure 4 Rule 2: untyped PUT becomes PUT-string.
+        rule = rewrite_read(
+            "put_untyped", lambda d: d.startswith(b"PUT "),
+            lambda d: d.replace(b"PUT ", b"PUT-string ", 1))
+        _, out = run_engine([rule], [read_record(4, b"PUT k v\r\n")])
+        assert out[0].data == b"PUT-string k v\r\n"
+
+    def test_rewrite_write(self):
+        rule = rewrite_write("banner", lambda d: d.startswith(b"220 v1"),
+                             lambda d: d.replace(b"v1", b"v2"))
+        _, out = run_engine([rule], [write_record(4, b"220 v1 ready\r\n")])
+        assert out[0].data == b"220 v2 ready\r\n"
+
+    def test_split_write(self):
+        rule = split_write("split", lambda d: b"\r\n" in d,
+                           lambda d: [d[:5], d[5:]])
+        _, out = run_engine([rule], [write_record(4, b"HELLO WORLD\r\n")])
+        assert [r.data for r in out] == [b"HELLO", b" WORLD\r\n"]
+        assert all(r.name is Sys.WRITE and r.fd == 4 for r in out)
+
+
+class TestMultiRecordRules:
+    def test_merge_writes(self):
+        rule = merge_writes("merge", lambda d: d.startswith(b"220-"),
+                            lambda d: d.startswith(b"220 "))
+        _, out = run_engine([rule], [
+            write_record(4, b"220-part one\r\n"),
+            write_record(4, b"220 part two\r\n"),
+        ])
+        assert len(out) == 1
+        assert out[0].data == b"220-part one\r\n220 part two\r\n"
+
+    def test_swap_adjacent(self):
+        rule = swap_adjacent(
+            "aof", SyscallPattern(Sys.WRITE, predicate=lambda d: d.startswith(b"+")),
+            SyscallPattern(Sys.WRITE, predicate=lambda d: d.startswith(b"*")))
+        _, out = run_engine([rule], [
+            write_record(4, b"+OK\r\n"),
+            write_record(9, b"*3 aof entry\r\n"),
+        ])
+        assert [r.data for r in out] == [b"*3 aof entry\r\n", b"+OK\r\n"]
+        assert [r.fd for r in out] == [9, 4]
+
+    def test_partial_match_waits_for_more_records(self):
+        rule = merge_writes("merge", lambda d: d.startswith(b"A"),
+                            lambda d: d.startswith(b"B"))
+        engine = RuleEngine([rule])
+        engine.offer(write_record(1, b"A1"))
+        # Might still complete: nothing ready yet.
+        assert not engine.has_ready()
+        assert engine.pending_window() == 1
+        engine.offer(write_record(1, b"B2"))
+        assert engine.next_expected().data == b"A1B2"
+
+    def test_partial_match_flushes_when_stream_ends(self):
+        rule = merge_writes("merge", lambda d: d.startswith(b"A"),
+                            lambda d: d.startswith(b"B"))
+        engine = RuleEngine([rule])
+        engine.offer(write_record(1, b"A1"))
+        engine.flush()
+        assert engine.next_expected().data == b"A1"
+
+    def test_failed_partial_match_reconsiders_suffix(self):
+        # "A" then "A" then "B": first A flushes, then A+B merges.
+        rule = merge_writes("merge", lambda d: d.startswith(b"A"),
+                            lambda d: d.startswith(b"B"))
+        _, out = run_engine([rule], [
+            write_record(1, b"A1"), write_record(1, b"A2"),
+            write_record(1, b"B3"),
+        ])
+        assert [r.data for r in out] == [b"A1", b"A2B3"]
+
+
+class TestPriorityAndDirection:
+    def test_first_matching_rule_wins(self):
+        rule_a = redirect_read("a", lambda d: True, b"from-a")
+        rule_b = redirect_read("b", lambda d: True, b"from-b")
+        engine, out = run_engine([rule_a, rule_b], [read_record(1, b"x")])
+        assert out[0].data == b"from-a"
+        assert engine.fired == ["a"]
+
+    def test_ruleset_stage_filtering(self):
+        rules = RuleSet()
+        rules.add(redirect_read("fwd", lambda d: True, b"x",
+                                direction=Direction.OUTDATED_LEADER))
+        rules.add(redirect_read("rev", lambda d: True, b"y",
+                                direction=Direction.UPDATED_LEADER))
+        rules.add(redirect_read("always", lambda d: True, b"z",
+                                direction=Direction.BOTH))
+        outdated = rules.for_stage(Direction.OUTDATED_LEADER)
+        updated = rules.for_stage(Direction.UPDATED_LEADER)
+        assert [r.name for r in outdated] == ["fwd", "always"]
+        assert [r.name for r in updated] == ["rev", "always"]
+        assert rules.count() == 2
+        assert len(rules) == 3
+
+    def test_action_returning_none_raises(self):
+        rule = RewriteRule("bad", [SyscallPattern(Sys.READ)], lambda m: None)
+        engine = RuleEngine([rule])
+        with pytest.raises(RuleError):
+            engine.offer(read_record(1, b"x"))

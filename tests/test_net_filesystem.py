@@ -1,0 +1,106 @@
+"""Unit tests for the virtual filesystem."""
+
+import pytest
+
+from repro.errors import FileNotFound, KernelError
+from repro.net import VirtualFilesystem
+
+
+@pytest.fixture
+def fs():
+    return VirtualFilesystem()
+
+
+def test_write_read_round_trip(fs):
+    fs.write_file("/motd", b"welcome")
+    assert fs.read_file("/motd") == b"welcome"
+    assert fs.exists("/motd")
+    assert fs.size("/motd") == 7
+
+
+def test_paths_are_normalised(fs):
+    fs.write_file("data.bin", b"x")
+    assert fs.read_file("/data.bin") == b"x"
+    assert fs.read_file("//data.bin") == b"x"
+
+
+def test_overwrite_replaces_contents(fs):
+    fs.write_file("/f", b"old")
+    fs.write_file("/f", b"new")
+    assert fs.read_file("/f") == b"new"
+
+
+def test_append_creates_then_extends(fs):
+    fs.append_file("/log", b"a")
+    fs.append_file("/log", b"b")
+    assert fs.read_file("/log") == b"ab"
+
+
+def test_read_missing_file_raises(fs):
+    with pytest.raises(FileNotFound):
+        fs.read_file("/nope")
+
+
+def test_unlink_removes_file(fs):
+    fs.write_file("/f", b"x")
+    fs.unlink("/f")
+    assert not fs.exists("/f")
+    with pytest.raises(FileNotFound):
+        fs.unlink("/f")
+
+
+def test_rename_moves_contents(fs):
+    fs.write_file("/src", b"payload")
+    fs.rename("/src", "/dst")
+    assert not fs.exists("/src")
+    assert fs.read_file("/dst") == b"payload"
+
+
+def test_rename_missing_raises(fs):
+    with pytest.raises(FileNotFound):
+        fs.rename("/a", "/b")
+
+
+def test_mkdir_and_listdir(fs):
+    fs.mkdir("/pub")
+    fs.write_file("/pub/a.txt", b"1")
+    fs.write_file("/pub/b.txt", b"2")
+    fs.mkdir("/pub/sub")
+    assert fs.listdir("/pub") == ["a.txt", "b.txt", "sub"]
+    assert fs.listdir("/") == ["pub"]
+
+
+def test_mkdir_requires_parent(fs):
+    with pytest.raises(FileNotFound):
+        fs.mkdir("/a/b")
+
+
+def test_mkdir_duplicate_raises(fs):
+    fs.mkdir("/d")
+    with pytest.raises(KernelError):
+        fs.mkdir("/d")
+
+
+def test_write_requires_parent_dir(fs):
+    with pytest.raises(FileNotFound):
+        fs.write_file("/missing/f", b"x")
+
+
+def test_rmdir_only_when_empty(fs):
+    fs.mkdir("/d")
+    fs.write_file("/d/f", b"x")
+    with pytest.raises(KernelError, match="not empty"):
+        fs.rmdir("/d")
+    fs.unlink("/d/f")
+    fs.rmdir("/d")
+    assert not fs.is_dir("/d")
+
+
+def test_rmdir_root_forbidden(fs):
+    with pytest.raises(KernelError):
+        fs.rmdir("/")
+
+
+def test_listdir_missing_raises(fs):
+    with pytest.raises(FileNotFound):
+        fs.listdir("/nope")

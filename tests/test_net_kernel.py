@@ -1,0 +1,203 @@
+"""Unit tests for the virtual kernel: sockets, epoll, fd domains."""
+
+import pytest
+
+from repro.errors import BadFileDescriptor, ConnectionClosed, KernelError
+from repro.net import VirtualKernel
+
+ADDR = ("127.0.0.1", 6379)
+
+
+@pytest.fixture
+def kernel():
+    return VirtualKernel()
+
+
+@pytest.fixture
+def pair(kernel):
+    """A connected (server_domain, server_fd, client_domain, client_fd)."""
+    server_domain = kernel.create_domain()
+    client_domain = kernel.create_domain()
+    listen_fd = kernel.listen(server_domain, ADDR)
+    client_fd = kernel.connect(client_domain, ADDR)
+    server_fd = kernel.accept(server_domain, listen_fd)
+    return server_domain, server_fd, client_domain, client_fd
+
+
+def test_listen_connect_accept_round_trip(kernel, pair):
+    server_domain, server_fd, client_domain, client_fd = pair
+    kernel.write(client_domain, client_fd, b"PING\r\n")
+    assert kernel.read(server_domain, server_fd) == b"PING\r\n"
+    kernel.write(server_domain, server_fd, b"+PONG\r\n")
+    assert kernel.read(client_domain, client_fd) == b"+PONG\r\n"
+
+
+def test_connect_to_unbound_address_refused(kernel):
+    domain = kernel.create_domain()
+    with pytest.raises(KernelError, match="refused"):
+        kernel.connect(domain, ("10.0.0.1", 80))
+
+
+def test_double_bind_rejected(kernel):
+    d = kernel.create_domain()
+    kernel.listen(d, ADDR)
+    with pytest.raises(KernelError, match="in use"):
+        kernel.listen(kernel.create_domain(), ADDR)
+
+
+def test_accept_without_pending_raises(kernel):
+    d = kernel.create_domain()
+    listen_fd = kernel.listen(d, ADDR)
+    with pytest.raises(KernelError, match="would block"):
+        kernel.accept(d, listen_fd)
+
+
+def test_read_empty_stream_returns_nothing(kernel, pair):
+    server_domain, server_fd, _, _ = pair
+    assert kernel.read(server_domain, server_fd) == b""
+
+
+def test_partial_reads_preserve_stream_order(kernel, pair):
+    server_domain, server_fd, client_domain, client_fd = pair
+    kernel.write(client_domain, client_fd, b"abcdef")
+    kernel.write(client_domain, client_fd, b"ghi")
+    assert kernel.read(server_domain, server_fd, max_bytes=4) == b"abcd"
+    assert kernel.read(server_domain, server_fd, max_bytes=4) == b"efgh"
+    assert kernel.read(server_domain, server_fd) == b"i"
+
+
+def test_close_signals_eof_to_peer(kernel, pair):
+    server_domain, server_fd, client_domain, client_fd = pair
+    kernel.write(client_domain, client_fd, b"bye")
+    kernel.close(client_domain, client_fd)
+    # Buffered data still readable, then EOF.
+    assert kernel.read(server_domain, server_fd) == b"bye"
+    assert kernel.read(server_domain, server_fd) == b""
+
+
+def test_write_to_closed_peer_raises(kernel, pair):
+    server_domain, server_fd, client_domain, client_fd = pair
+    kernel.close(client_domain, client_fd)
+    with pytest.raises(ConnectionClosed):
+        kernel.write(server_domain, server_fd, b"data")
+
+
+def test_operations_on_unknown_fd_raise(kernel):
+    domain = kernel.create_domain()
+    with pytest.raises(BadFileDescriptor):
+        kernel.read(domain, 99)
+
+
+def test_fd_domains_are_isolated(kernel, pair):
+    server_domain, server_fd, _, _ = pair
+    other = kernel.create_domain()
+    with pytest.raises(BadFileDescriptor):
+        kernel.read(other, server_fd)
+
+
+def test_close_frees_fd(kernel, pair):
+    server_domain, server_fd, _, _ = pair
+    kernel.close(server_domain, server_fd)
+    assert not kernel.is_open(server_domain, server_fd)
+    with pytest.raises(BadFileDescriptor):
+        kernel.read(server_domain, server_fd)
+
+
+def test_closed_listener_refuses_connections(kernel):
+    server_domain = kernel.create_domain()
+    listen_fd = kernel.listen(server_domain, ADDR)
+    kernel.close(server_domain, listen_fd)
+    with pytest.raises(KernelError, match="refused"):
+        kernel.connect(kernel.create_domain(), ADDR)
+
+
+class TestEpoll:
+    def test_listener_ready_when_backlog_nonempty(self, kernel):
+        server_domain = kernel.create_domain()
+        listen_fd = kernel.listen(server_domain, ADDR)
+        epfd = kernel.epoll_create(server_domain)
+        kernel.epoll_ctl(server_domain, epfd, listen_fd, add=True)
+        assert kernel.epoll_wait(server_domain, epfd) == []
+        kernel.connect(kernel.create_domain(), ADDR)
+        assert kernel.epoll_wait(server_domain, epfd) == [listen_fd]
+
+    def test_stream_ready_when_data_buffered(self, kernel, pair):
+        server_domain, server_fd, client_domain, client_fd = pair
+        epfd = kernel.epoll_create(server_domain)
+        kernel.epoll_ctl(server_domain, epfd, server_fd, add=True)
+        assert kernel.epoll_wait(server_domain, epfd) == []
+        kernel.write(client_domain, client_fd, b"x")
+        assert kernel.epoll_wait(server_domain, epfd) == [server_fd]
+        # Level-triggered: still ready until drained.
+        assert kernel.epoll_wait(server_domain, epfd) == [server_fd]
+        kernel.read(server_domain, server_fd)
+        assert kernel.epoll_wait(server_domain, epfd) == []
+
+    def test_peer_close_makes_stream_ready(self, kernel, pair):
+        server_domain, server_fd, client_domain, client_fd = pair
+        epfd = kernel.epoll_create(server_domain)
+        kernel.epoll_ctl(server_domain, epfd, server_fd, add=True)
+        kernel.close(client_domain, client_fd)
+        assert kernel.epoll_wait(server_domain, epfd) == [server_fd]
+
+    def test_ready_order_is_registration_order(self, kernel):
+        server_domain = kernel.create_domain()
+        client_domain = kernel.create_domain()
+        listen_fd = kernel.listen(server_domain, ADDR)
+        epfd = kernel.epoll_create(server_domain)
+        fds = []
+        for _ in range(3):
+            kernel.connect(client_domain, ADDR)
+            fd = kernel.accept(server_domain, listen_fd)
+            kernel.epoll_ctl(server_domain, epfd, fd, add=True)
+            fds.append(fd)
+        client_fds = [fd for fd in kernel.open_fds(client_domain)]
+        for cfd in client_fds:
+            kernel.write(client_domain, cfd, b"hello")
+        assert kernel.epoll_wait(server_domain, epfd) == fds
+
+    def test_epoll_ctl_remove(self, kernel, pair):
+        server_domain, server_fd, client_domain, client_fd = pair
+        epfd = kernel.epoll_create(server_domain)
+        kernel.epoll_ctl(server_domain, epfd, server_fd, add=True)
+        kernel.write(client_domain, client_fd, b"x")
+        kernel.epoll_ctl(server_domain, epfd, server_fd, add=False)
+        assert kernel.epoll_wait(server_domain, epfd) == []
+
+    def test_closing_fd_removes_it_from_epoll(self, kernel, pair):
+        server_domain, server_fd, client_domain, client_fd = pair
+        epfd = kernel.epoll_create(server_domain)
+        kernel.epoll_ctl(server_domain, epfd, server_fd, add=True)
+        kernel.write(client_domain, client_fd, b"x")
+        kernel.close(server_domain, server_fd)
+        assert kernel.epoll_wait(server_domain, epfd) == []
+
+    def test_epoll_on_non_epoll_fd_raises(self, kernel, pair):
+        server_domain, server_fd, _, _ = pair
+        with pytest.raises(KernelError):
+            kernel.epoll_wait(server_domain, server_fd)
+
+
+def test_peer_endpoint_inspection(kernel, pair):
+    server_domain, server_fd, client_domain, client_fd = pair
+    kernel.write(server_domain, server_fd, b"hello")
+    peer = kernel.peer_endpoint(server_domain, server_fd)
+    assert peer.pending_bytes() == 5
+
+
+class TestEndpointUnread:
+    """unread() re-delivers consumed bytes ahead of anything buffered —
+    the primitive behind crash-request re-delivery."""
+
+    def test_unread_goes_to_the_front(self, kernel, pair):
+        server_domain, server_fd, client_domain, client_fd = pair
+        kernel.write(client_domain, client_fd, b"SECOND")
+        endpoint = kernel._domain(server_domain).lookup(server_fd)
+        endpoint.unread(b"FIRST ")
+        assert kernel.read(server_domain, server_fd) == b"FIRST SECOND"
+
+    def test_unread_empty_is_noop(self, kernel, pair):
+        server_domain, server_fd, _, _ = pair
+        endpoint = kernel._domain(server_domain).lookup(server_fd)
+        endpoint.unread(b"")
+        assert not endpoint.readable()

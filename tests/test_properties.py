@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) for core system invariants.
+
+These encode the correctness arguments the paper relies on:
+
+* the *state relation* (Figure 3): after any command history, the new
+  version's state equals the transform of the old version's state;
+* MVE transparency: a follower running identical code never diverges and
+  converges to the leader's state, for any workload;
+* the rule engine is the identity when no rule matches;
+* servers are deterministic functions of their input bytes, regardless
+  of how those bytes are chunked by the network.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mve import VaranRuntime
+from repro.mve.dsl import RuleEngine
+from repro.net import VirtualKernel
+from repro.servers.kvstore import (
+    KVStoreServer,
+    KVStoreV1,
+    KVStoreV2,
+    kv_rules,
+    xform_1_to_2,
+)
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.syscalls.costs import PROFILES
+from repro.syscalls.model import Sys, SyscallRecord
+from repro.workloads import VirtualClient
+
+# -- strategies ---------------------------------------------------------------
+
+keys = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+values = st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8)
+
+v1_commands = st.one_of(
+    st.tuples(st.just("PUT"), keys, values).map(
+        lambda t: f"{t[0]} {t[1]} {t[2]}".encode()),
+    keys.map(lambda k: f"GET {k}".encode()),
+)
+
+typed_commands = st.one_of(
+    st.tuples(st.sampled_from(["PUT-number", "PUT-date", "PUT-string"]),
+              keys, values).map(lambda t: f"{t[0]} {t[1]} {t[2]}".encode()),
+    keys.map(lambda k: f"TYPE {k}".encode()),
+)
+
+
+# -- the state relation (Figure 3) ---------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(v1_commands, max_size=30))
+def test_state_relation_holds_for_any_v1_history(commands):
+    """xform(v1 state after H) == v2 state after H, for any history H."""
+    v1, v2 = KVStoreV1(), KVStoreV2()
+    heap1, heap2 = v1.initial_heap(), v2.initial_heap()
+    for command in commands:
+        v1.handle(heap1, command)
+        v2.handle(heap2, command)
+    assert xform_1_to_2(heap1) == heap2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.one_of(v1_commands, typed_commands), max_size=25))
+def test_rejected_commands_preserve_the_relation(commands):
+    """With typed commands redirected to bad-cmd (Rule 1), the relation
+    still holds: what v1 rejects, the redirected v2 also rejects."""
+    v1, v2 = KVStoreV1(), KVStoreV2()
+    heap1, heap2 = v1.initial_heap(), v2.initial_heap()
+    for command in commands:
+        v1.handle(heap1, command)
+        # Model the outdated-leader stage: commands v1 rejects reach the
+        # follower as bad-cmd.
+        verb = command.split(b" ", 1)[0]
+        if verb.startswith(b"PUT-") or verb == b"TYPE":
+            v2.handle(heap2, b"bad-cmd")
+        else:
+            v2.handle(heap2, command)
+    assert xform_1_to_2(heap1) == heap2
+
+
+# -- MVE transparency ------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(v1_commands, min_size=1, max_size=20))
+def test_identical_follower_never_diverges(commands):
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           ring_capacity=1 << 12)
+    client = VirtualClient(kernel, server.address)
+    runtime.fork_follower(0)
+    now = 0
+    for command in commands:
+        _, now = client.request(runtime, command + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    assert runtime.follower is not None
+    assert runtime.follower.server.heap == runtime.leader.server.heap
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.one_of(v1_commands, typed_commands),
+                min_size=1, max_size=20))
+def test_updated_follower_with_rules_never_diverges(commands):
+    """The full outdated-leader stage, for arbitrary mixed workloads."""
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           ring_capacity=1 << 12, rules=kv_rules())
+    client = VirtualClient(kernel, server.address)
+    child = server.fork()
+    child.apply_version(KVStoreV2(), xform_1_to_2(dict(child.heap)))
+    runtime.fork_follower(0, server=child)
+    now = 0
+    for command in commands:
+        _, now = client.request(runtime, command + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    # And the state relation held the whole way.
+    assert runtime.follower.server.heap == xform_1_to_2(
+        {"table": dict(runtime.leader.server.heap["table"])})
+
+
+# -- rule engine -------------------------------------------------------------------
+
+record_strategy = st.builds(
+    SyscallRecord,
+    name=st.sampled_from([Sys.READ, Sys.WRITE, Sys.CLOSE]),
+    fd=st.integers(0, 5),
+    data=st.binary(max_size=12),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(record_strategy, max_size=30))
+def test_rule_engine_without_rules_is_identity(records):
+    engine = RuleEngine([])
+    out = []
+    for record in records:
+        engine.offer(record)
+        while engine.has_ready():
+            out.append(engine.next_expected())
+    engine.flush()
+    while engine.has_ready():
+        out.append(engine.next_expected())
+    assert out == records
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record_strategy, max_size=30))
+def test_non_matching_rules_are_identity(records):
+    from repro.mve.dsl import redirect_read
+    rule = redirect_read("never", lambda d: d.startswith(b"\xff\xfe"),
+                         b"unused")
+    engine = RuleEngine([rule])
+    out = []
+    for record in records:
+        engine.offer(record)
+        while engine.has_ready():
+            out.append(engine.next_expected())
+    engine.flush()
+    while engine.has_ready():
+        out.append(engine.next_expected())
+    matched = [r for r in records if r.name is Sys.READ
+               and r.data.startswith(b"\xff\xfe")]
+    if not matched:
+        assert out == records
+
+
+# -- chunking invariance ----------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(v1_commands, min_size=1, max_size=10),
+       st.data())
+def test_server_responses_invariant_under_chunking(commands, data):
+    """However the network fragments the request stream, responses and
+    final state are identical."""
+    stream = b"".join(command + b"\r\n" for command in commands)
+
+    def run(chunks):
+        kernel = VirtualKernel()
+        server = KVStoreServer(KVStoreV1())
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, server.address)
+        responses = b""
+        now = 0
+        for chunk in chunks:
+            reply, now = client.request(runtime, chunk, now)
+            responses += reply
+        return responses, server.heap
+
+    # One big write vs random fragmentation.
+    whole = run([stream])
+    cut_points = sorted(data.draw(st.lists(
+        st.integers(1, max(1, len(stream) - 1)), max_size=6)))
+    pieces = []
+    last = 0
+    for cut in cut_points:
+        pieces.append(stream[last:cut])
+        last = cut
+    pieces.append(stream[last:])
+    fragmented = run([p for p in pieces if p])
+    assert whole == fragmented
+
+
+# -- server determinism -----------------------------------------------------------
+
+redis_commands = st.one_of(
+    st.tuples(keys, values).map(lambda t: b"SET %s %s" % (
+        t[0].encode(), t[1].encode())),
+    keys.map(lambda k: b"GET %s" % k.encode()),
+    st.tuples(keys, values).map(lambda t: b"LPUSH %s %s" % (
+        t[0].encode(), t[1].encode())),
+    keys.map(lambda k: b"LRANGE %s 0 -1" % k.encode()),
+    st.tuples(keys, keys, values).map(lambda t: b"HSET %s %s %s" % (
+        t[0].encode(), t[1].encode(), t[2].encode())),
+    keys.map(lambda k: b"TYPE %s" % k.encode()),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(redis_commands, max_size=25))
+def test_redis_replies_are_deterministic(commands):
+    def run():
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+        client = VirtualClient(kernel, server.address)
+        return [client.command(runtime, c) for c in commands]
+
+    assert run() == run()

@@ -1,0 +1,182 @@
+"""Property-based tests for Redis, Memcached, and Vsftpd under MVE.
+
+The key MVE transparency property, per server: for arbitrary workloads,
+a follower running identical code never diverges and converges to the
+leader's state — and for Redis's 2.0.0 -> 2.0.1 update, the one rewrite
+rule keeps an *updated* follower in sync on arbitrary write-heavy
+workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mve import VaranRuntime
+from repro.net import VirtualKernel
+from repro.servers.memcached import MemcachedServer, memcached_version
+from repro.servers.redis import RedisServer, redis_rules, redis_version
+from repro.servers.vsftpd import VsftpdServer, vsftpd_version
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+from repro.workloads.ftpclient import FtpClient
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+words = st.text(alphabet="abcdef123", min_size=1, max_size=6)
+
+redis_ops = st.one_of(
+    st.tuples(keys, words).map(lambda t: f"SET {t[0]} {t[1]}".encode()),
+    keys.map(lambda k: f"GET {k}".encode()),
+    st.tuples(keys, words).map(lambda t: f"RPUSH {t[0]} {t[1]}".encode()),
+    keys.map(lambda k: f"LRANGE {k} 0 -1".encode()),
+    st.tuples(keys, st.sampled_from(["f1", "f2"]), words).map(
+        lambda t: f"HSET {t[0]} {t[1]} {t[2]}".encode()),
+    st.tuples(keys, st.sampled_from(["f1", "f2"])).map(
+        lambda t: f"HMGET {t[0]} {t[1]}".encode()),
+    keys.map(lambda k: f"DEL {k}".encode()),
+    keys.map(lambda k: f"INCR {k}:n".encode()),
+)
+
+memcached_ops = st.one_of(
+    st.tuples(keys, words).map(
+        lambda t: f"set {t[0]} 0 0 {len(t[1])}\r\n{t[1]}".encode()),
+    keys.map(lambda k: f"get {k}".encode()),
+    keys.map(lambda k: f"delete {k}".encode()),
+    st.tuples(keys, words).map(
+        lambda t: f"add {t[0]} 0 0 {len(t[1])}\r\n{t[1]}".encode()),
+)
+
+ftp_ops = st.sampled_from([
+    b"SYST", b"PWD", b"NOOP", b"TYPE I", b"SIZE f.txt",
+    b"SIZE missing", b"HELP", b"FEAT",
+])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(redis_ops, min_size=1, max_size=15))
+def test_redis_identical_follower_transparent(ops):
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                           ring_capacity=1 << 12)
+    client = VirtualClient(kernel, server.address)
+    runtime.fork_follower(0)
+    now = 0
+    for op in ops:
+        _, now = client.request(runtime, op + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    assert runtime.follower.server.heap["db"] == \
+        runtime.leader.server.heap["db"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(redis_ops, min_size=1, max_size=15))
+def test_redis_update_with_rule_transparent(ops):
+    """2.0.0 leader, 2.0.1 follower, arbitrary workloads: the AOF
+    reorder rule absorbs every intentional divergence."""
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                           ring_capacity=1 << 12,
+                           rules=redis_rules("2.0.0", "2.0.1"))
+    client = VirtualClient(kernel, server.address)
+    child = server.fork()
+    child.apply_version(redis_version("2.0.1", hmget_bug=False),
+                        dict(child.heap))
+    runtime.fork_follower(0, server=child)
+    now = 0
+    for op in ops:
+        _, now = client.request(runtime, op + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    assert runtime.follower.server.heap["db"] == \
+        runtime.leader.server.heap["db"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(memcached_ops, min_size=1, max_size=12))
+def test_memcached_identical_follower_transparent(ops):
+    kernel = VirtualKernel()
+    server = MemcachedServer(memcached_version("1.2.2"))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["memcached"],
+                           ring_capacity=1 << 12)
+    client = VirtualClient(kernel, server.address)
+    runtime.fork_follower(0)
+    now = 0
+    for op in ops:
+        _, now = client.request(runtime, op + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    assert runtime.follower.server.heap["items"] == \
+        runtime.leader.server.heap["items"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(ftp_ops, min_size=1, max_size=10))
+def test_vsftpd_identical_follower_transparent(ops):
+    kernel = VirtualKernel()
+    kernel.fs.write_file("/f.txt", b"hello")
+    server = VsftpdServer(vsftpd_version("2.0.6"))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["vsftpd-small"],
+                           ring_capacity=1 << 12)
+    client = FtpClient(kernel, server.address)
+    client.login(runtime)
+    runtime.fork_follower(0)
+    now = 0
+    for op in ops:
+        client.command(runtime, op, now=now)
+        now += 10**7
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+
+
+snort_ops = st.tuples(
+    st.sampled_from(["evil", "peer", "lab"]),
+    st.sampled_from(["probe", "exploit", "exfil", "benign"]),
+).map(lambda t: f"PKT {t[0]} {t[1]}".encode())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(snort_ops, min_size=1, max_size=20))
+def test_snort_identical_follower_transparent(ops):
+    from repro.servers.snort import SnortServer, snort_version
+    kernel = VirtualKernel()
+    server = SnortServer(snort_version("1.0"))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           ring_capacity=1 << 12)
+    client = VirtualClient(kernel, server.address)
+    runtime.fork_follower(0)
+    now = 0
+    for op in ops:
+        _, now = client.request(runtime, op + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None
+    assert runtime.follower.server.heap == runtime.leader.server.heap
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(snort_ops.filter(lambda op: b" benign" not in op),
+                min_size=1, max_size=20))
+def test_snort_update_transparent_without_benign_interleave(ops):
+    """1.0 and 1.1 agree byte-for-byte on attack streams that never
+    interleave benign packets — the condition under which the update
+    validates cleanly."""
+    from repro.servers.snort import (SnortServer, snort_version)
+    kernel = VirtualKernel()
+    server = SnortServer(snort_version("1.0"))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           ring_capacity=1 << 12)
+    client = VirtualClient(kernel, server.address)
+    child = server.fork()
+    child.apply_version(snort_version("1.1"), dict(child.heap))
+    runtime.fork_follower(0, server=child)
+    now = 0
+    for op in ops:
+        _, now = client.request(runtime, op + b"\r\n", now)
+    runtime.drain_follower()
+    assert runtime.last_divergence is None

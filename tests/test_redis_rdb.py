@@ -1,0 +1,122 @@
+"""Tests for Redis RDB snapshots (SAVE/BGSAVE + restore)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.mve import VaranRuntime
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.servers.redis import rdb
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def deployment():
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+    client = VirtualClient(kernel, server.address)
+    return kernel, server, runtime, client
+
+
+class TestCodec:
+    def populate(self):
+        return {
+            "db": {
+                "s": ("string", "value with spaces"),
+                "l": ("list", ["a", "b", "c"]),
+                "st": ("set", {"x": None, "y": None}),
+                "h": ("hash", {"f1": "v1", "f2": "v2"}),
+            },
+            "ttls": {},
+        }
+
+    def test_round_trip(self):
+        heap = self.populate()
+        assert rdb.load(rdb.dump(heap))["db"] == heap["db"]
+
+    def test_deterministic(self):
+        heap = self.populate()
+        assert rdb.dump(heap) == rdb.dump(self.populate())
+
+    def test_empty_db(self):
+        heap = {"db": {}, "ttls": {}}
+        assert rdb.load(rdb.dump(heap))["db"] == {}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(KernelError, match="magic"):
+            rdb.load(b"NOT-AN-RDB\n")
+
+    def test_truncated_rejected(self):
+        data = rdb.dump(self.populate())
+        with pytest.raises((KernelError, ValueError, IndexError)):
+            rdb.load(data[:-10])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(
+        st.text(alphabet="abcxyz:0123456789", min_size=1, max_size=10),
+        st.one_of(
+            st.tuples(st.just("string"),
+                      st.text(min_size=0, max_size=20)),
+            st.tuples(st.just("list"),
+                      st.lists(st.text(max_size=8), max_size=5)),
+            st.tuples(st.just("hash"),
+                      st.dictionaries(st.text(alphabet="fg", min_size=1,
+                                              max_size=3),
+                                      st.text(max_size=8), max_size=4)),
+        ),
+        max_size=8))
+    def test_round_trip_property(self, db):
+        heap = {"db": db, "ttls": {}}
+        assert rdb.load(rdb.dump(heap))["db"] == db
+
+
+class TestSaveCommands:
+    def test_save_writes_snapshot(self):
+        kernel, server, runtime, client = deployment()
+        client.command(runtime, b"SET k v")
+        assert client.command(runtime, b"SAVE") == b"+OK\r\n"
+        assert kernel.fs.exists(rdb.RDB_PATH)
+        snapshot = rdb.load(kernel.fs.read_file(rdb.RDB_PATH))
+        assert snapshot["db"] == {"k": ("string", "v")}
+
+    def test_bgsave_reply(self):
+        kernel, server, runtime, client = deployment()
+        assert client.command(runtime, b"BGSAVE") == \
+            b"+Background saving started\r\n"
+        assert kernel.fs.exists(rdb.RDB_PATH)
+
+    def test_restore_on_start(self):
+        kernel, server, runtime, client = deployment()
+        client.command(runtime, b"SET persistent yes")
+        client.command(runtime, b"SAVE")
+        # A new process on the same machine warms from the snapshot.
+        fresh = RedisServer(redis_version("2.0.1"),
+                            address=("127.0.0.1", 6380))
+        fresh.attach(kernel)
+        assert fresh.load_snapshot()
+        fresh_runtime = NativeRuntime(kernel, fresh, PROFILES["redis"])
+        fresh_client = VirtualClient(kernel, fresh.address)
+        assert fresh_client.command(fresh_runtime, b"GET persistent") == \
+            b"$3\r\nyes\r\n"
+
+    def test_load_snapshot_without_file(self):
+        kernel, server, _, _ = deployment()
+        assert not server.load_snapshot("/missing.rdb")
+
+    def test_save_under_mve_does_not_diverge(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = VaranRuntime(kernel, server, PROFILES["redis"])
+        client = VirtualClient(kernel, server.address)
+        client.command(runtime, b"SET k v")
+        runtime.fork_follower(10**9)
+        client.command(runtime, b"SET k2 v2", now=2 * 10**9)
+        assert client.command(runtime, b"SAVE", now=3 * 10**9) == b"+OK\r\n"
+        runtime.drain_follower()
+        assert runtime.last_divergence is None
+        assert kernel.fs.exists(rdb.RDB_PATH)

@@ -1,0 +1,126 @@
+"""Tests for Redis MULTI/EXEC and control-state survival across updates."""
+
+import pytest
+
+from repro.core import Mvedsua, Stage
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import (
+    RedisServer,
+    redis_rules,
+    redis_transforms,
+    redis_version,
+)
+from repro.servers.redis.server import AOF_PATH
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+def native():
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0"))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+    client = VirtualClient(kernel, server.address)
+    return kernel, server, runtime, client
+
+
+class TestTransactions:
+    def test_multi_queues_then_exec_applies(self):
+        _, _, runtime, client = native()
+        assert client.command(runtime, b"MULTI") == b"+OK\r\n"
+        assert client.command(runtime, b"SET a 1") == b"+QUEUED\r\n"
+        assert client.command(runtime, b"INCR n") == b"+QUEUED\r\n"
+        reply = client.command(runtime, b"EXEC")
+        assert reply == b"*2\r\n+OK\r\n:1\r\n"
+        assert client.command(runtime, b"GET a") == b"$1\r\n1\r\n"
+
+    def test_discard_drops_the_queue(self):
+        _, _, runtime, client = native()
+        client.command(runtime, b"MULTI")
+        client.command(runtime, b"SET a 1")
+        assert client.command(runtime, b"DISCARD") == b"+OK\r\n"
+        assert client.command(runtime, b"GET a") == b"$-1\r\n"
+
+    def test_exec_without_multi(self):
+        _, _, runtime, client = native()
+        assert b"EXEC without MULTI" in client.command(runtime, b"EXEC")
+
+    def test_discard_without_multi(self):
+        _, _, runtime, client = native()
+        assert b"DISCARD without MULTI" in client.command(runtime,
+                                                          b"DISCARD")
+
+    def test_nested_multi_rejected(self):
+        _, _, runtime, client = native()
+        client.command(runtime, b"MULTI")
+        assert b"not be nested" in client.command(runtime, b"MULTI")
+
+    def test_transactions_are_per_session(self):
+        kernel, server, runtime, _ = native()
+        alice = VirtualClient(kernel, server.address, "alice")
+        bob = VirtualClient(kernel, server.address, "bob")
+        alice.command(runtime, b"MULTI")
+        alice.command(runtime, b"SET a 1")
+        # Bob is unaffected by Alice's open transaction.
+        assert bob.command(runtime, b"SET b 2") == b"+OK\r\n"
+        assert bob.command(runtime, b"GET a") == b"$-1\r\n"
+        alice.command(runtime, b"EXEC")
+        assert bob.command(runtime, b"GET a") == b"$1\r\n1\r\n"
+
+    def test_queued_commands_not_logged_until_exec(self):
+        kernel, _, runtime, client = native()
+        client.command(runtime, b"MULTI")
+        client.command(runtime, b"SET a 1")
+        assert not kernel.fs.exists(AOF_PATH)
+        client.command(runtime, b"EXEC")
+        aof = kernel.fs.read_file(AOF_PATH)
+        assert aof == b"AOF EXEC\r\n"
+
+
+class TestTransactionAcrossUpdate:
+    """Control state (the open transaction) survives a dynamic update —
+    the DSU property stop/restart strategies cannot provide."""
+
+    def test_exec_after_update_applies_pre_update_queue(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                          transforms=redis_transforms())
+        client = VirtualClient(kernel, server.address)
+        client.command(mvedsua, b"MULTI")
+        client.command(mvedsua, b"SET mid-update 1")
+        # The update lands while the transaction is open.
+        mvedsua.request_update(redis_version("2.0.1"), SECOND,
+                               rules=redis_rules("2.0.0", "2.0.1"))
+        assert mvedsua.stage is Stage.OUTDATED_LEADER
+        reply = client.command(mvedsua, b"EXEC", now=2 * SECOND)
+        assert reply == b"*1\r\n+OK\r\n"
+        assert mvedsua.runtime.last_divergence is None
+        assert client.command(mvedsua, b"GET mid-update",
+                              now=3 * SECOND) == b"$1\r\n1\r\n"
+        # The follower executed the same transaction from its migrated
+        # session state.
+        assert mvedsua.runtime.follower.server.heap["db"] == \
+            mvedsua.runtime.leader.server.heap["db"]
+
+    def test_transaction_spanning_promotion(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                          transforms=redis_transforms())
+        client = VirtualClient(kernel, server.address)
+        mvedsua.request_update(redis_version("2.0.1"), SECOND,
+                               rules=redis_rules("2.0.0", "2.0.1"))
+        client.command(mvedsua, b"MULTI", now=2 * SECOND)
+        client.command(mvedsua, b"SET spans 1", now=2 * SECOND)
+        mvedsua.promote(3 * SECOND)
+        reply = client.command(mvedsua, b"EXEC", now=4 * SECOND)
+        assert reply == b"*1\r\n+OK\r\n"
+        assert mvedsua.runtime.last_divergence is None
+        mvedsua.finalize(5 * SECOND)
+        assert client.command(mvedsua, b"GET spans",
+                              now=6 * SECOND) == b"$1\r\n1\r\n"

@@ -1,0 +1,188 @@
+"""Unit tests for the running-example KV store (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import ServerCrash
+from repro.servers.kvstore import (
+    KVStoreV1,
+    KVStoreV2,
+    xform_1_to_2,
+    xform_drop_table,
+    xform_uninitialised_type,
+)
+from repro.servers.kvstore.versions import parse_request
+from repro.servers.native import NativeRuntime
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+
+
+class TestParseRequest:
+    def test_plain_put(self):
+        assert parse_request(b"PUT k1 v1") == ("PUT", None, "k1", "v1")
+
+    def test_typed_put(self):
+        assert parse_request(b"PUT-string k1 v1") == ("PUT", "string", "k1", "v1")
+
+    def test_get(self):
+        assert parse_request(b"GET k1") == ("GET", None, "k1", None)
+
+    def test_value_with_spaces(self):
+        assert parse_request(b"PUT k hello world") == ("PUT", None, "k", "hello world")
+
+    def test_bare_verb(self):
+        assert parse_request(b"PING") == ("PING", None, None, None)
+
+
+class TestV1Semantics:
+    def setup_method(self):
+        self.version = KVStoreV1()
+        self.heap = self.version.initial_heap()
+
+    def run(self, line):
+        return self.version.handle(self.heap, line)
+
+    def test_put_then_get(self):
+        assert self.run(b"PUT balance 1000") == [b"+OK\r\n"]
+        assert self.run(b"GET balance") == [b"1000\r\n"]
+
+    def test_get_missing(self):
+        assert self.run(b"GET nope") == [b"-ERR not found\r\n"]
+
+    def test_put_overwrites(self):
+        self.run(b"PUT k a")
+        self.run(b"PUT k b")
+        assert self.run(b"GET k") == [b"b\r\n"]
+
+    def test_typed_put_rejected(self):
+        assert self.run(b"PUT-number k 5") == [b"-ERR unknown command\r\n"]
+        assert self.run(b"GET k") == [b"-ERR not found\r\n"]
+
+    def test_type_command_rejected(self):
+        assert self.run(b"TYPE k") == [b"-ERR unknown command\r\n"]
+
+    def test_malformed_put_rejected(self):
+        assert self.run(b"PUT onlykey") == [b"-ERR unknown command\r\n"]
+
+    def test_heap_entries_counts_table(self):
+        self.run(b"PUT a 1")
+        self.run(b"PUT b 2")
+        assert self.version.heap_entries(self.heap) == 2
+
+    def test_commands_surface(self):
+        assert self.version.commands() == frozenset({"PUT", "GET"})
+
+
+class TestV2Semantics:
+    def setup_method(self):
+        self.version = KVStoreV2()
+        self.heap = self.version.initial_heap()
+
+    def run(self, line):
+        return self.version.handle(self.heap, line)
+
+    def test_plain_put_defaults_to_string(self):
+        self.run(b"PUT k v")
+        assert self.run(b"TYPE k") == [b"string\r\n"]
+
+    def test_typed_puts(self):
+        self.run(b"PUT-number pi 3")
+        self.run(b"PUT-date today 2019-04-13")
+        assert self.run(b"TYPE pi") == [b"number\r\n"]
+        assert self.run(b"TYPE today") == [b"date\r\n"]
+        assert self.run(b"GET pi") == [b"3\r\n"]
+
+    def test_unknown_type_rejected(self):
+        assert self.run(b"PUT-blob k v") == [b"-ERR unknown command\r\n"]
+
+    def test_type_of_missing_key(self):
+        assert self.run(b"TYPE nope") == [b"-ERR not found\r\n"]
+
+    def test_bad_cmd_rejected_like_v1(self):
+        # The bad-cmd redirection rule relies on identical rejection text.
+        v1 = KVStoreV1()
+        assert self.run(b"bad-cmd") == v1.handle(v1.initial_heap(), b"bad-cmd")
+
+    def test_uninitialised_type_crashes_on_get(self):
+        self.heap["table"]["k"] = {"val": "v", "typ": None}
+        with pytest.raises(ServerCrash):
+            self.run(b"GET k")
+
+    def test_uninitialised_type_crashes_on_type(self):
+        self.heap["table"]["k"] = {"val": "v", "typ": None}
+        with pytest.raises(ServerCrash):
+            self.run(b"TYPE k")
+
+
+class TestTransformers:
+    def test_correct_transform_types_everything_string(self):
+        heap = {"table": {"a": "1", "b": "2"}}
+        new = xform_1_to_2(heap)
+        assert new["table"] == {
+            "a": {"val": "1", "typ": "string"},
+            "b": {"val": "2", "typ": "string"},
+        }
+
+    def test_state_relation_holds_for_any_v1_history(self):
+        """xform(v1 state after cmds) == v2 state after same cmds."""
+        commands = [b"PUT a 1", b"PUT b 2", b"PUT a 3", b"GET a"]
+        v1, v2 = KVStoreV1(), KVStoreV2()
+        h1, h2 = v1.initial_heap(), v2.initial_heap()
+        for command in commands:
+            v1.handle(h1, command)
+            v2.handle(h2, command)
+        assert xform_1_to_2(h1) == h2
+
+    def test_uninitialised_bug_leaves_types_none(self):
+        new = xform_uninitialised_type({"table": {"a": "1"}})
+        assert new["table"]["a"]["typ"] is None
+
+    def test_drop_table_bug_empties_store(self):
+        assert xform_drop_table({"table": {"a": "1"}})["table"] == {}
+
+
+class TestOverWire(object):
+    """The store behind the full server skeleton + virtual kernel."""
+
+    def test_requests_and_framing(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, kv_server.address)
+        assert client.command(runtime, b"PUT balance 1000") == b"+OK\r\n"
+        assert client.command(runtime, b"GET balance") == b"1000\r\n"
+
+    def test_pipelined_requests_in_one_write(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, kv_server.address)
+        response, _ = client.request(
+            runtime, b"PUT a 1\r\nPUT b 2\r\nGET a\r\n", now=0)
+        assert response == b"+OK\r\n+OK\r\n1\r\n"
+
+    def test_partial_request_waits_for_rest(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, kv_server.address)
+        response, _ = client.request(runtime, b"PUT half", now=0)
+        assert response == b""
+        response, _ = client.request(runtime, b" done\r\n", now=10)
+        assert response == b"+OK\r\n"
+
+    def test_multiple_clients_are_isolated_sessions(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        alice = VirtualClient(kernel, kv_server.address, "alice")
+        bob = VirtualClient(kernel, kv_server.address, "bob")
+        alice.command(runtime, b"PUT shared fromalice")
+        assert bob.command(runtime, b"GET shared") == b"fromalice\r\n"
+
+    def test_client_disconnect_cleans_session(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, kv_server.address)
+        client.command(runtime, b"PUT a 1")
+        assert len(kv_server.sessions) == 1
+        client.close()
+        runtime.pump(100)
+        assert len(kv_server.sessions) == 0
+
+    def test_latency_reflects_cost_model(self, kernel, kv_server):
+        runtime = NativeRuntime(kernel, kv_server, PROFILES["kvstore"])
+        client = VirtualClient(kernel, kv_server.address)
+        client.command(runtime, b"PUT a 1")
+        # One request: accept iteration + request iteration costs.
+        assert client.latencies_ns[-1] > 0

@@ -1,0 +1,351 @@
+"""Tests for the Vsftpd analogue: protocol, data connections, versions,
+and the Table 1 rule sets."""
+
+import pytest
+
+from repro.core import Mvedsua, Stage
+from repro.mve.dsl import Direction, RuleSet
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.vsftpd import (
+    TABLE1_RULE_COUNTS,
+    VSFTPD_FEATURES,
+    VSFTPD_VERSIONS,
+    VsftpdServer,
+    vsftpd_rules,
+    vsftpd_transforms,
+    vsftpd_version,
+)
+from repro.sim.engine import SECOND
+from repro.syscalls.costs import PROFILES
+from repro.workloads.ftpclient import FtpClient
+
+
+def native_deployment(version="2.0.5", files=None):
+    kernel = VirtualKernel()
+    for path, data in (files or {}).items():
+        kernel.fs.write_file(path, data)
+    server = VsftpdServer(vsftpd_version(version))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["vsftpd-small"])
+    client = FtpClient(kernel, server.address)
+    return kernel, server, runtime, client
+
+
+def mvedsua_deployment(version, files=None):
+    kernel = VirtualKernel()
+    for path, data in (files or {}).items():
+        kernel.fs.write_file(path, data)
+    server = VsftpdServer(vsftpd_version(version))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["vsftpd-small"],
+                      transforms=vsftpd_transforms())
+    client = FtpClient(kernel, server.address)
+    return kernel, mvedsua, client
+
+
+class TestVersionTable:
+    def test_fourteen_releases(self):
+        assert len(VSFTPD_VERSIONS) == 14
+        assert VSFTPD_VERSIONS[0] == "1.1.0"
+        assert VSFTPD_VERSIONS[-1] == "2.0.6"
+
+    def test_features_accumulate(self):
+        assert not VSFTPD_FEATURES["1.1.3"].has_stou
+        assert VSFTPD_FEATURES["1.2.0"].has_stou
+        assert VSFTPD_FEATURES["2.0.0"].has_epsv
+        assert VSFTPD_FEATURES["2.0.3"].has_mdtm
+        assert VSFTPD_FEATURES["2.0.5"].open_before_150
+        # Once added, never removed.
+        assert VSFTPD_FEATURES["2.0.6"].has_stou
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            vsftpd_version("3.0.0")
+
+    def test_command_surface_grows(self):
+        old = vsftpd_version("1.1.3").commands()
+        new = vsftpd_version("1.2.0").commands()
+        assert new - old == {"STOU"}
+
+
+class TestTable1Rules:
+    def test_rule_counts_match_paper(self):
+        for old, new, expected in TABLE1_RULE_COUNTS:
+            assert vsftpd_rules(old, new).count() == expected, (old, new)
+
+    def test_average_is_085(self):
+        total = sum(vsftpd_rules(o, n).count()
+                    for o, n, _ in TABLE1_RULE_COUNTS)
+        assert round(total / len(TABLE1_RULE_COUNTS), 2) == 0.85
+
+    def test_both_directions_have_equal_counts(self):
+        # "the same number for both the outdated and updated leader
+        # stages" (paper §5.1).
+        for old, new, _ in TABLE1_RULE_COUNTS:
+            rules = vsftpd_rules(old, new)
+            assert rules.count(Direction.OUTDATED_LEADER) == \
+                rules.count(Direction.UPDATED_LEADER)
+
+
+class TestProtocol:
+    def test_banner_and_login(self):
+        _, _, runtime, client = native_deployment()
+        assert client.connect_greeting(runtime) == \
+            b"220 vsFTPd: secure, fast.\r\n"
+        assert client.login(runtime) == b"230 Login successful.\r\n"
+
+    def test_pass_without_user(self):
+        _, _, runtime, client = native_deployment()
+        client.connect_greeting(runtime)
+        assert client.command(runtime, b"PASS x") == \
+            b"503 Login with USER first.\r\n"
+
+    def test_login_required_for_file_commands(self):
+        _, _, runtime, client = native_deployment(version="2.0.2")
+        client.connect_greeting(runtime)
+        assert client.command(runtime, b"PWD") == \
+            b"530 Log in with USER and PASS first.\r\n"
+
+    def test_old_login_prompt_text(self):
+        _, _, runtime, client = native_deployment(version="2.0.1")
+        client.connect_greeting(runtime)
+        assert client.command(runtime, b"PWD") == \
+            b"530 Please login with USER and PASS.\r\n"
+
+    def test_syst_feat_help_noop(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"SYST") == b"215 UNIX Type: L8.\r\n"
+        feat = client.command(runtime, b"FEAT")
+        assert feat.startswith(b"211-Features:") and b" EPSV" in feat
+        assert client.command(runtime, b"NOOP") == b"200 NOOP ok.\r\n"
+        assert client.command(runtime, b"HELP").startswith(b"214")
+
+    def test_pwd_cwd_cdup(self):
+        kernel, _, runtime, client = native_deployment()
+        kernel.fs.mkdir("/pub")
+        client.login(runtime)
+        assert client.command(runtime, b"PWD") == b'257 "/"\r\n'
+        assert client.command(runtime, b"CWD pub") == \
+            b"250 Directory successfully changed.\r\n"
+        assert client.command(runtime, b"PWD") == b'257 "/pub"\r\n'
+        assert client.command(runtime, b"CDUP") == \
+            b"250 Directory successfully changed.\r\n"
+        assert client.command(runtime, b"PWD") == b'257 "/"\r\n'
+
+    def test_cwd_missing_directory(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"CWD nope") == \
+            b"550 Failed to change directory.\r\n"
+
+    def test_mkd_rmd(self):
+        kernel, _, runtime, client = native_deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"MKD d") == b'257 "/d" created.\r\n'
+        assert kernel.fs.is_dir("/d")
+        assert client.command(runtime, b"RMD d") == \
+            b"250 Remove directory operation successful.\r\n"
+        assert client.command(runtime, b"RMD d") == \
+            b"550 Remove directory operation failed.\r\n"
+
+    def test_size_and_dele(self):
+        _, _, runtime, client = native_deployment(files={"/f": b"12345"})
+        client.login(runtime)
+        assert client.command(runtime, b"SIZE f") == b"213 5\r\n"
+        assert client.command(runtime, b"DELE f") == \
+            b"250 Delete operation successful.\r\n"
+        assert client.command(runtime, b"SIZE f") == \
+            b"550 Could not get file size.\r\n"
+
+    def test_rename_flow(self):
+        kernel, _, runtime, client = native_deployment(files={"/a": b"x"})
+        client.login(runtime)
+        assert client.command(runtime, b"RNFR a") == b"350 Ready for RNTO.\r\n"
+        assert client.command(runtime, b"RNTO b") == \
+            b"250 Rename successful.\r\n"
+        assert kernel.fs.read_file("/b") == b"x"
+        assert client.command(runtime, b"RNTO c") == \
+            b"503 RNFR required first.\r\n"
+
+    def test_type_mode_stru_rest(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"TYPE I") == \
+            b"200 Switching to Binary mode.\r\n"
+        assert client.command(runtime, b"TYPE A") == \
+            b"200 Switching to ASCII mode.\r\n"
+        assert client.command(runtime, b"MODE S") == b"200 Mode set to S.\r\n"
+        assert client.command(runtime, b"STRU F") == \
+            b"200 Structure set to F.\r\n"
+        assert client.command(runtime, b"REST 100") == \
+            b"350 Restart position accepted.\r\n"
+
+    def test_quit_goodbye_per_version(self):
+        _, _, runtime, client = native_deployment(version="2.0.3")
+        client.login(runtime)
+        assert client.command(runtime, b"QUIT") == b"221 Goodbye.\r\n"
+        _, _, runtime, client = native_deployment(version="2.0.4")
+        client.login(runtime)
+        assert client.command(runtime, b"QUIT") == b"221 Goodbye, friend.\r\n"
+
+    def test_unknown_command(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"FOOBAR") == \
+            b"500 Unknown command.\r\n"
+
+    def test_stou_only_in_new_versions(self):
+        _, _, runtime, client = native_deployment(version="1.1.3")
+        client.login(runtime)
+        assert client.command(runtime, b"STOU") == b"500 Unknown command.\r\n"
+        kernel, _, runtime, client = native_deployment(version="1.2.0")
+        client.login(runtime)
+        assert client.command(runtime, b"STOU") == \
+            b'257 "/stou.0001" created.\r\n'
+        assert kernel.fs.exists("/stou.0001")
+
+    def test_mdtm_only_in_new_versions(self):
+        _, _, runtime, client = native_deployment(version="2.0.2",
+                                                  files={"/f": b"x"})
+        client.login(runtime)
+        assert client.command(runtime, b"MDTM f") == b"500 Unknown command.\r\n"
+        _, _, runtime, client = native_deployment(version="2.0.3",
+                                                  files={"/f": b"x"})
+        client.login(runtime)
+        assert client.command(runtime, b"MDTM f") == b"213 19990101000000\r\n"
+
+
+class TestDataConnections:
+    def test_retr_round_trip(self):
+        _, _, runtime, client = native_deployment(files={"/f": b"hello"})
+        client.login(runtime)
+        control, data = client.retr(runtime, "f")
+        assert control == (b"150 Opening BINARY mode data connection.\r\n"
+                           b"226 Transfer complete.\r\n")
+        assert data == b"hello"
+
+    def test_retr_missing_file(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        client.command(runtime, b"PASV")
+        assert client.command(runtime, b"RETR nope") == \
+            b"550 Failed to open file.\r\n"
+
+    def test_retr_without_pasv(self):
+        _, _, runtime, client = native_deployment(files={"/f": b"x"})
+        client.login(runtime)
+        assert client.command(runtime, b"RETR f") == b"425 Use PORT or PASV first.\r\n"
+
+    def test_retr_large_file_chunked(self):
+        payload = bytes(range(256)) * 1024  # 256 KiB, 4 chunks
+        _, _, runtime, client = native_deployment(files={"/big": payload})
+        client.login(runtime)
+        _, data = client.retr(runtime, "big")
+        assert data == payload
+
+    def test_stor_round_trip(self):
+        kernel, _, runtime, client = native_deployment()
+        client.login(runtime)
+        reply = client.stor(runtime, "up.bin", b"uploaded")
+        assert reply.endswith(b"226 Transfer complete.\r\n")
+        assert kernel.fs.read_file("/up.bin") == b"uploaded"
+
+    def test_list_directory(self):
+        files = {"/a.txt": b"1", "/b.txt": b"2"}
+        _, _, runtime, client = native_deployment(files=files)
+        client.login(runtime)
+        _, listing = client.list_dir(runtime)
+        assert listing == b"a.txt\r\nb.txt\r\n"
+
+    def test_epsv_data_connection(self):
+        _, _, runtime, client = native_deployment(files={"/f": b"abc"})
+        client.login(runtime)
+        _, data = client.retr(runtime, "f", extended=True)
+        assert data == b"abc"
+
+    def test_pasv_ports_are_deterministic(self):
+        _, _, runtime, client = native_deployment()
+        client.login(runtime)
+        first = client.command(runtime, b"PASV")
+        second = client.command(runtime, b"PASV")
+        assert b"(127,0,0,1,78,32)" in first   # port 20000
+        assert b"(127,0,0,1,78,33)" in second  # port 20001
+
+
+class TestUpdatePairsUnderMvedsua:
+    """Every Table 1 pair: in sync with rules, diverging without."""
+
+    def exercise(self, kernel, mvedsua, client, now):
+        client.command(mvedsua, b"SYST", now=now)
+        client.command(mvedsua, b"FEAT", now=now)
+        _, data = client.retr(mvedsua, "f.txt", now=now)
+        assert data == b"payload!"
+        for probe in (b"STOU", b"EPSV x", b"MDTM f.txt", b"BOGUS"):
+            client.command(mvedsua, probe, now=now)
+        fresh = FtpClient(kernel, ("127.0.0.1", 21), "fresh")
+        fresh.connect_greeting(mvedsua, now=now)
+        fresh.command(mvedsua, b"PWD", now=now)   # pre-login prompt
+        fresh.command(mvedsua, b"QUIT", now=now)
+
+    @pytest.mark.parametrize("old,new,n_rules", TABLE1_RULE_COUNTS)
+    def test_with_rules_stays_in_sync(self, old, new, n_rules):
+        kernel, mvedsua, client = mvedsua_deployment(
+            old, files={"/f.txt": b"payload!"})
+        client.login(mvedsua)
+        mvedsua.request_update(vsftpd_version(new), SECOND,
+                               rules=vsftpd_rules(old, new))
+        self.exercise(kernel, mvedsua, client, 2 * SECOND)
+        assert mvedsua.stage is Stage.OUTDATED_LEADER
+        assert mvedsua.runtime.last_divergence is None
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [(o, n) for o, n, count in TABLE1_RULE_COUNTS if count > 0])
+    def test_without_rules_diverges(self, old, new):
+        kernel, mvedsua, client = mvedsua_deployment(
+            old, files={"/f.txt": b"payload!"})
+        client.login(mvedsua)
+        mvedsua.request_update(vsftpd_version(new), SECOND,
+                               rules=RuleSet())
+        self.exercise(kernel, mvedsua, client, 2 * SECOND)
+        assert mvedsua.stage is Stage.SINGLE_LEADER
+        assert mvedsua.last_outcome().rolled_back()
+
+    def test_stou_happy_coincidence_after_promotion(self):
+        """Paper §5.1: STOU on the updated leader is tolerable because
+        Vsftpd keeps no file-system state."""
+        kernel, mvedsua, client = mvedsua_deployment("1.1.3")
+        client.login(mvedsua)
+        mvedsua.request_update(vsftpd_version("1.2.0"), SECOND,
+                               rules=vsftpd_rules("1.1.3", "1.2.0"))
+        mvedsua.promote(2 * SECOND)
+        reply = client.command(mvedsua, b"STOU", now=3 * SECOND)
+        assert reply == b'257 "/stou.0001" created.\r\n'
+        assert mvedsua.runtime.last_divergence is None
+        # The file is visible to both versions (shared filesystem), so a
+        # later RETR stays in sync.
+        _, data = client.retr(mvedsua, "stou.0001", now=4 * SECOND)
+        assert data == b""
+        assert mvedsua.stage is Stage.UPDATED_LEADER
+
+    def test_full_chain_of_13_updates(self):
+        """Walk 1.1.0 all the way to 2.0.6 through Mvedsua."""
+        kernel, mvedsua, client = mvedsua_deployment(
+            "1.1.0", files={"/f.txt": b"payload!"})
+        client.login(mvedsua)
+        now = SECOND
+        for old, new in zip(VSFTPD_VERSIONS, VSFTPD_VERSIONS[1:]):
+            attempt = mvedsua.request_update(
+                vsftpd_version(new), now, rules=vsftpd_rules(old, new))
+            assert attempt.ok, (old, new)
+            _, data = client.retr(mvedsua, "f.txt", now=now + SECOND)
+            assert data == b"payload!"
+            mvedsua.promote(now + 2 * SECOND)
+            mvedsua.finalize(now + 3 * SECOND)
+            assert mvedsua.current_version == new
+            now += 4 * SECOND
+        assert mvedsua.current_version == "2.0.6"
+        assert len(mvedsua.history) == 13
+        assert all(t.succeeded() for t in mvedsua.history)

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event engine and virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, MILLISECOND, SECOND, ns_to_seconds, seconds_to_ns
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, lambda: fired.append("c"))
+    engine.schedule(10, lambda: fired.append("a"))
+    engine.schedule(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_insertion_order():
+    engine = Engine()
+    fired = []
+    for name in "abcde":
+        engine.schedule(100, lambda n=name: fired.append(n))
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_clock_tracks_event_times():
+    engine = Engine()
+    seen = []
+    engine.schedule(5 * MILLISECOND, lambda: seen.append(engine.now))
+    engine.schedule(2 * MILLISECOND, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [2 * MILLISECOND, 5 * MILLISECOND]
+
+
+def test_run_until_leaves_later_events_queued():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("early"))
+    engine.schedule(100, lambda: fired.append("late"))
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    assert engine.pending() == 1
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_includes_boundary_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(50, lambda: fired.append("x"))
+    engine.run(until=50)
+    assert fired == ["x"]
+
+
+def test_events_scheduled_during_run_fire():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule(10, lambda: fired.append("second"))
+
+    engine.schedule(0, first)
+    engine.run()
+    assert fired == ["first", "second"]
+    assert engine.now == 10
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule(10, lambda: engine.schedule_at(5, lambda: None))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_advance_to_moves_clock():
+    engine = Engine()
+    engine.advance_to(123)
+    assert engine.now == 123
+
+
+def test_advance_to_cannot_skip_events():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.advance_to(20)
+
+
+def test_advance_to_cannot_go_backwards():
+    engine = Engine()
+    engine.advance_to(100)
+    with pytest.raises(SimulationError):
+        engine.advance_to(50)
+
+
+def test_unit_conversions_round_trip():
+    assert seconds_to_ns(1.5) == 1_500_000_000
+    assert ns_to_seconds(SECOND) == 1.0
+    assert ns_to_seconds(seconds_to_ns(0.25)) == pytest.approx(0.25)
+
+
+def test_run_with_empty_queue_advances_to_until():
+    engine = Engine()
+    engine.run(until=777)
+    assert engine.now == 777

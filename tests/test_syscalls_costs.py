@@ -1,0 +1,165 @@
+"""Unit tests for the calibrated cost model.
+
+The relative-overhead assertions below encode the *shape* of the paper's
+Table 2: Mvedsua-1 costs a few percent over native, Mvedsua-2 tens of
+percent, and applications with more user-space compute per syscall see
+lower relative MVE overheads.
+"""
+
+import pytest
+
+from repro.sim import NANOS_PER_SECOND
+from repro.syscalls import ExecutionMode, PROFILES, op_cost
+
+
+def ops_per_second(app, mode, **kwargs):
+    return NANOS_PER_SECOND / op_cost(app, mode, **kwargs)
+
+
+def overhead(app, mode, **kwargs):
+    """Throughput drop vs native — the convention of the paper's Table 2."""
+    native = op_cost(app, ExecutionMode.NATIVE, **kwargs)
+    other = op_cost(app, mode, **kwargs)
+    return 1.0 - native / other
+
+
+class TestNativeCalibration:
+    """Native throughput must land near the paper's Table 2 numbers."""
+
+    def test_redis_native_near_73k(self):
+        assert ops_per_second("redis", ExecutionMode.NATIVE) == pytest.approx(73_000, rel=0.05)
+
+    def test_memcached_native_near_62k_per_thread(self):
+        # 249k ops/s across 4 worker threads.
+        per_thread = ops_per_second("memcached", ExecutionMode.NATIVE)
+        assert 4 * per_thread == pytest.approx(249_000, rel=0.05)
+
+    def test_vsftpd_small_native_near_2667(self):
+        assert ops_per_second("vsftpd-small", ExecutionMode.NATIVE) == pytest.approx(2_667, rel=0.05)
+
+    def test_vsftpd_large_native_near_118(self):
+        assert ops_per_second(
+            "vsftpd-large", ExecutionMode.NATIVE, n_bytes=10 * 1024 * 1024
+        ) == pytest.approx(118, rel=0.08)
+
+
+class TestOverheadShape:
+    """Relative overheads must match the paper's reported bands."""
+
+    @pytest.mark.parametrize("app,kwargs", [
+        ("redis", {}),
+        ("memcached", {}),
+        ("vsftpd-small", {}),
+        ("vsftpd-large", {"n_bytes": 10 * 1024 * 1024}),
+    ])
+    def test_mvedsua_single_is_3_to_9_percent(self, app, kwargs):
+        assert 0.0 < overhead(app, ExecutionMode.MVEDSUA_SINGLE, **kwargs) < 0.10
+
+    @pytest.mark.parametrize("app,kwargs", [
+        ("redis", {}),
+        ("memcached", {}),
+        ("vsftpd-small", {}),
+        ("vsftpd-large", {"n_bytes": 10 * 1024 * 1024}),
+    ])
+    def test_mvedsua_leader_is_20_to_55_percent(self, app, kwargs):
+        assert 0.20 < overhead(app, ExecutionMode.MVEDSUA_LEADER, **kwargs) < 0.55
+
+    @pytest.mark.parametrize("app,kwargs", [
+        ("redis", {}),
+        ("memcached", {}),
+        ("vsftpd-small", {}),
+        ("vsftpd-large", {"n_bytes": 10 * 1024 * 1024}),
+    ])
+    def test_kitsune_under_6_percent(self, app, kwargs):
+        assert 0.0 <= overhead(app, ExecutionMode.KITSUNE, **kwargs) < 0.06
+
+    def test_memcached_has_highest_mve_overhead(self):
+        # Table 2: Memcached 52% > Redis 42% > Vsftpd 25%.
+        mc = overhead("memcached", ExecutionMode.MVEDSUA_LEADER)
+        rd = overhead("redis", ExecutionMode.MVEDSUA_LEADER)
+        ftp = overhead("vsftpd-small", ExecutionMode.MVEDSUA_LEADER)
+        assert mc > rd > ftp
+
+    def test_mode_ordering_is_monotone(self):
+        for app in ("redis", "memcached"):
+            costs = [op_cost(app, mode) for mode in (
+                ExecutionMode.NATIVE,
+                ExecutionMode.MVEDSUA_SINGLE,
+                ExecutionMode.MVEDSUA_LEADER,
+            )]
+            assert costs == sorted(costs)
+
+    def test_mvedsua_adds_kitsune_on_top_of_varan(self):
+        for app, mode_pair in (
+            ("memcached", (ExecutionMode.VARAN_SINGLE, ExecutionMode.MVEDSUA_SINGLE)),
+            ("memcached", (ExecutionMode.VARAN_LEADER, ExecutionMode.MVEDSUA_LEADER)),
+        ):
+            varan, mvedsua = mode_pair
+            assert op_cost(app, mvedsua) >= op_cost(app, varan)
+
+
+class TestModeFlags:
+    def test_ring_buffer_modes(self):
+        assert ExecutionMode.VARAN_LEADER.uses_ring_buffer
+        assert ExecutionMode.MVEDSUA_LEADER.uses_ring_buffer
+        assert not ExecutionMode.MVEDSUA_SINGLE.uses_ring_buffer
+
+    def test_kitsune_modes(self):
+        assert ExecutionMode.KITSUNE.includes_kitsune
+        assert ExecutionMode.MVEDSUA_SINGLE.includes_kitsune
+        assert not ExecutionMode.VARAN_SINGLE.includes_kitsune
+
+    def test_varan_modes(self):
+        assert not ExecutionMode.NATIVE.includes_varan
+        assert not ExecutionMode.KITSUNE.includes_varan
+        assert ExecutionMode.FOLLOWER.includes_varan
+
+
+def test_profiles_expose_xform_costs_where_needed():
+    # Figure 7 (Redis) and the Memcached fault experiments need these.
+    assert PROFILES["redis"].xform_entry_ns is not None
+    assert PROFILES["memcached"].xform_entry_ns is not None
+
+
+def test_follower_replay_cheaper_than_leader_mode():
+    leader = op_cost("redis", ExecutionMode.VARAN_LEADER)
+    follower = op_cost("redis", ExecutionMode.FOLLOWER)
+    assert follower < leader
+
+
+class TestPerAppFactors:
+    """The per-application Varan factor overrides (calibration knobs)."""
+
+    def test_overrides_take_precedence_over_globals(self):
+        from repro.syscalls.costs import AppProfile
+        plain = AppProfile(name="p", compute_ns=1000, syscall_ns=100)
+        tuned = AppProfile(name="t", compute_ns=1000, syscall_ns=100,
+                           varan_leader_syscall_factor=10.0)
+        assert tuned.factors(ExecutionMode.VARAN_LEADER).syscall_factor \
+            == 10.0
+        assert plain.factors(ExecutionMode.VARAN_LEADER).syscall_factor \
+            == pytest.approx(2.80)
+
+    def test_entries_per_op_defaults_to_syscalls(self):
+        from repro.syscalls.costs import AppProfile
+        plain = AppProfile(name="p", compute_ns=1, syscall_ns=1,
+                           syscalls_per_op=7)
+        assert plain.entries_per_op == 7
+        tuned = AppProfile(name="t", compute_ns=1, syscall_ns=1,
+                           syscalls_per_op=3, ring_entries_per_op=12)
+        assert tuned.entries_per_op == 12
+
+    def test_calibrated_profiles_have_entry_footprints(self):
+        assert PROFILES["redis"].entries_per_op == 12
+        assert PROFILES["memcached"].entries_per_op == 12
+        assert PROFILES["vsftpd-small"].entries_per_op == 15
+
+    def test_follower_mode_ignores_leader_overrides(self):
+        follower = PROFILES["redis"].factors(ExecutionMode.FOLLOWER)
+        assert follower.syscall_factor == pytest.approx(0.60)
+
+    def test_iteration_cost_helper(self):
+        profile = PROFILES["redis"]
+        cost = profile.iteration_cost_ns(
+            ExecutionMode.NATIVE, n_requests=2, n_syscalls=6)
+        assert cost == 2 * profile.compute_ns + 6 * profile.syscall_ns

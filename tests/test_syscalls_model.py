@@ -1,0 +1,57 @@
+"""Unit tests for syscall records and trace signatures."""
+
+from repro.syscalls import Sys, SyscallRecord, trace_signature
+from repro.syscalls.model import read_record, write_record
+
+
+def test_matching_records_compare_equal():
+    a = SyscallRecord(Sys.WRITE, fd=4, data=b"+OK\r\n")
+    b = SyscallRecord(Sys.WRITE, fd=4, data=b"+OK\r\n", result=5)
+    # Result is replayed, not compared.
+    assert a.matches(b)
+
+
+def test_data_mismatch_detected():
+    a = SyscallRecord(Sys.WRITE, fd=4, data=b"+OK\r\n")
+    b = SyscallRecord(Sys.WRITE, fd=4, data=b"-ERR\r\n")
+    assert not a.matches(b)
+
+
+def test_fd_mismatch_detected():
+    a = SyscallRecord(Sys.WRITE, fd=4, data=b"x")
+    assert not a.matches(a.with_fd(5))
+
+
+def test_name_mismatch_detected():
+    a = SyscallRecord(Sys.READ, fd=4, data=b"x")
+    b = SyscallRecord(Sys.WRITE, fd=4, data=b"x")
+    assert not a.matches(b)
+
+
+def test_non_data_bearing_syscalls_ignore_payload():
+    a = SyscallRecord(Sys.EPOLL_WAIT, fd=3, data=b"whatever")
+    b = SyscallRecord(Sys.EPOLL_WAIT, fd=3)
+    assert a.matches(b)
+
+
+def test_with_data_preserves_identity_fields():
+    a = SyscallRecord(Sys.WRITE, fd=9, data=b"old", result=3)
+    b = a.with_data(b"new")
+    assert b.fd == 9 and b.name is Sys.WRITE and b.data == b"new"
+
+
+def test_trace_signature_is_order_sensitive():
+    r1 = read_record(4, b"GET k\r\n")
+    r2 = write_record(4, b"$1\r\nv\r\n")
+    assert trace_signature([r1, r2]) != trace_signature([r2, r1])
+
+
+def test_convenience_constructors_set_result():
+    assert read_record(3, b"abc").result == 3
+    assert write_record(3, b"abcd").result == 4
+
+
+def test_describe_truncates_long_payloads():
+    record = write_record(1, b"x" * 100)
+    assert "..." in record.describe()
+    assert Sys.WRITE.value in record.describe()

@@ -1,0 +1,216 @@
+"""Edge-case coverage for the Vsftpd protocol implementation."""
+
+import pytest
+
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.vsftpd import VsftpdServer, vsftpd_version
+from repro.syscalls.costs import PROFILES
+from repro.workloads.ftpclient import FtpClient
+
+
+def deployment(version="2.0.6", files=None, dirs=()):
+    kernel = VirtualKernel()
+    for d in dirs:
+        kernel.fs.mkdir(d)
+    for path, data in (files or {}).items():
+        kernel.fs.write_file(path, data)
+    server = VsftpdServer(vsftpd_version(version))
+    server.attach(kernel)
+    runtime = NativeRuntime(kernel, server, PROFILES["vsftpd-small"])
+    client = FtpClient(kernel, server.address)
+    return kernel, server, runtime, client
+
+
+class TestSessionEdges:
+    def test_user_resets_login(self):
+        _, _, runtime, client = deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"PWD").startswith(b"257")
+        # Issuing USER again de-authenticates until PASS.
+        client.command(runtime, b"USER other")
+        assert client.command(runtime, b"PWD").startswith(b"530")
+        client.command(runtime, b"PASS x")
+        assert client.command(runtime, b"PWD").startswith(b"257")
+
+    def test_abor_and_rest(self):
+        _, _, runtime, client = deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"ABOR") == b"226 ABOR successful.\r\n"
+        assert client.command(runtime, b"REST 42").startswith(b"350")
+
+    def test_quit_before_login_allowed(self):
+        _, _, runtime, client = deployment()
+        client.connect_greeting(runtime)
+        assert client.command(runtime, b"QUIT").startswith(b"221")
+
+    def test_cwd_into_subdirectory_and_retr_relative(self):
+        kernel, _, runtime, client = deployment(
+            dirs=("/pub",), files={"/pub/f.txt": b"inner"})
+        client.login(runtime)
+        client.command(runtime, b"CWD pub")
+        _, data = client.retr(runtime, "f.txt")
+        assert data == b"inner"
+
+    def test_retr_absolute_path(self):
+        _, _, runtime, client = deployment(files={"/abs.txt": b"abs"})
+        client.login(runtime)
+        _, data = client.retr(runtime, "/abs.txt")
+        assert data == b"abs"
+
+    def test_cdup_at_root_stays_at_root(self):
+        _, _, runtime, client = deployment()
+        client.login(runtime)
+        client.command(runtime, b"CDUP")
+        assert client.command(runtime, b"PWD") == b'257 "/"\r\n'
+
+    def test_commands_case_insensitive(self):
+        _, _, runtime, client = deployment()
+        client.connect_greeting(runtime)
+        assert client.command(runtime, b"user x").startswith(b"331")
+        assert client.command(runtime, b"pass y").startswith(b"230")
+        assert client.command(runtime, b"syst").startswith(b"215")
+
+
+class TestTransfersEdges:
+    def test_appe_appends(self):
+        kernel, _, runtime, client = deployment(files={"/log": b"one"})
+        client.login(runtime)
+        data_fd = client._open_data_connection(runtime, 0)
+        client.kernel.write(client.domain, data_fd, b"+two")
+        client.kernel.close(client.domain, data_fd)
+        reply = client.command(runtime, b"APPE log")
+        assert reply.endswith(b"226 Transfer complete.\r\n")
+        assert kernel.fs.read_file("/log") == b"one+two"
+
+    def test_stor_empty_file(self):
+        kernel, _, runtime, client = deployment()
+        client.login(runtime)
+        reply = client.stor(runtime, "empty.bin", b"")
+        assert reply.endswith(b"226 Transfer complete.\r\n")
+        assert kernel.fs.read_file("/empty.bin") == b""
+
+    def test_retr_empty_file(self):
+        _, _, runtime, client = deployment(files={"/empty": b""})
+        client.login(runtime)
+        control, data = client.retr(runtime, "empty")
+        assert control.endswith(b"226 Transfer complete.\r\n")
+        assert data == b""
+
+    def test_pasv_reusable_after_failed_retr(self):
+        _, _, runtime, client = deployment(files={"/f": b"x"})
+        client.login(runtime)
+        client.command(runtime, b"PASV")
+        assert client.command(runtime, b"RETR missing").startswith(b"550")
+        # The data listener was consumed; a new PASV works.
+        _, data = client.retr(runtime, "f")
+        assert data == b"x"
+
+    def test_two_sequential_transfers(self):
+        _, _, runtime, client = deployment(
+            files={"/a": b"first", "/b": b"second"})
+        client.login(runtime)
+        _, first = client.retr(runtime, "a")
+        _, second = client.retr(runtime, "b", now=10**9)
+        assert (first, second) == (b"first", b"second")
+
+    def test_nlst_is_list(self):
+        _, _, runtime, client = deployment(files={"/x": b"1"})
+        client.login(runtime)
+        data_fd = client._open_data_connection(runtime, 0)
+        client.command(runtime, b"NLST")
+        listing = client._drain_data(data_fd)
+        assert listing == b"x\r\n"
+
+    def test_list_empty_directory(self):
+        _, _, runtime, client = deployment(dirs=("/void",))
+        client.login(runtime)
+        client.command(runtime, b"CWD void")
+        _, listing = client.list_dir(runtime)
+        assert listing == b""
+
+
+class TestVersionGates:
+    def test_epsv_unknown_before_200(self):
+        _, _, runtime, client = deployment(version="1.2.2")
+        client.login(runtime)
+        assert client.command(runtime, b"EPSV") == \
+            b"500 Unknown command.\r\n"
+
+    def test_feat_lists_grow_across_versions(self):
+        _, _, runtime, client = deployment(version="1.1.0")
+        client.login(runtime)
+        old_feat = client.command(runtime, b"FEAT")
+        _, _, runtime, client = deployment(version="2.0.6")
+        client.login(runtime)
+        new_feat = client.command(runtime, b"FEAT")
+        assert b" STOU" not in old_feat and b" STOU" in new_feat
+        assert b" EPSV" not in old_feat and b" EPSV" in new_feat
+
+    def test_stou_names_are_sequential(self):
+        kernel, _, runtime, client = deployment(version="2.0.6")
+        client.login(runtime)
+        assert client.command(runtime, b"STOU") == \
+            b'257 "/stou.0001" created.\r\n'
+        assert client.command(runtime, b"STOU") == \
+            b'257 "/stou.0002" created.\r\n'
+        assert kernel.fs.exists("/stou.0002")
+
+    def test_retr_order_differs_between_204_and_205(self):
+        def retr_record_names(version):
+            kernel, server, runtime, client = deployment(
+                version=version, files={"/f": b"x"})
+            client.login(runtime)
+            data_fd = client._open_data_connection(runtime, 0)
+            runtime.gateway.begin_iteration()
+            client.send(b"RETR f\r\n")
+            runtime.pump(10**9)
+            client._drain_data(data_fd)
+            return [r.name.value for r in runtime.gateway.trace.records]
+
+        old = retr_record_names("2.0.4")
+        new = retr_record_names("2.0.5")
+        assert old != new
+        # 2.0.4 writes the 150 reply before opening the file; 2.0.5 after.
+        assert old.index("open") > old.index("write")
+        assert new.index("open") < new.index("write")
+
+
+class TestActiveMode:
+    def test_port_then_retr(self):
+        _, _, runtime, client = deployment(files={"/f": b"payload"})
+        client.login(runtime)
+        control, data = client.retr_active(runtime, "f", 30010)
+        assert control.endswith(b"226 Transfer complete.\r\n")
+        assert data == b"payload"
+
+    def test_port_replaces_pasv(self):
+        _, _, runtime, client = deployment(files={"/f": b"x"})
+        client.login(runtime)
+        client.command(runtime, b"PASV")
+        # A PORT after PASV wins; the later RETR dials out.
+        control, data = client.retr_active(runtime, "f", 30011)
+        assert data == b"x"
+
+    def test_malformed_port_rejected(self):
+        _, _, runtime, client = deployment()
+        client.login(runtime)
+        assert client.command(runtime, b"PORT 1,2,3") == \
+            b"500 Illegal PORT command.\r\n"
+        assert client.command(runtime, b"PORT a,b,c,d,e,f") == \
+            b"500 Illegal PORT command.\r\n"
+
+    def test_active_mode_under_mve(self):
+        from repro.mve import VaranRuntime
+        kernel = VirtualKernel()
+        kernel.fs.write_file("/f", b"mve-active")
+        server = VsftpdServer(vsftpd_version("2.0.6"))
+        server.attach(kernel)
+        runtime = VaranRuntime(kernel, server, PROFILES["vsftpd-small"])
+        client = FtpClient(kernel, server.address)
+        client.login(runtime)
+        runtime.fork_follower(0)
+        _, data = client.retr_active(runtime, "f", 30012, now=10**9)
+        assert data == b"mve-active"
+        runtime.drain_follower()
+        assert runtime.last_divergence is None

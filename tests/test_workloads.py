@@ -1,0 +1,144 @@
+"""Tests for workload generators and the FTP client."""
+
+import pytest
+
+from repro.net import VirtualKernel
+from repro.servers.native import NativeRuntime
+from repro.servers.redis import RedisServer, redis_version
+from repro.servers.memcached import MemcachedServer, memcached_version
+from repro.servers.vsftpd import VsftpdServer, vsftpd_version
+from repro.syscalls.costs import PROFILES
+from repro.workloads import VirtualClient
+from repro.workloads.ftpclient import FtpClient
+from repro.workloads.memtier import FtpBenchSpec, MemtierSpec
+
+
+class TestMemtierSpec:
+    def test_defaults_match_paper(self):
+        spec = MemtierSpec()
+        assert spec.read_fraction == 0.90
+        assert spec.write_fraction == pytest.approx(0.10)
+        assert spec.duration_ns == 360 * 10**9
+
+    def test_mix_is_roughly_90_10(self):
+        spec = MemtierSpec()
+        commands = list(spec.commands(5_000, protocol="redis"))
+        reads = sum(1 for c in commands if c.startswith(b"GET"))
+        assert 0.88 < reads / len(commands) < 0.92
+
+    def test_generation_is_deterministic(self):
+        spec = MemtierSpec()
+        first = list(spec.commands(100, seed=7))
+        second = list(spec.commands(100, seed=7))
+        assert first == second
+        assert first != list(spec.commands(100, seed=8))
+
+    def test_redis_commands_run_against_server(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+        client = VirtualClient(kernel, server.address)
+        for command in MemtierSpec().commands(200, protocol="redis"):
+            response, _ = client.request(runtime, command, now=0)
+            assert response.endswith(b"\r\n")
+
+    def test_memcached_commands_run_against_server(self):
+        kernel = VirtualKernel()
+        server = MemcachedServer(memcached_version("1.2.2"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["memcached"])
+        client = VirtualClient(kernel, server.address)
+        for command in MemtierSpec().commands(200, protocol="memcached"):
+            response, _ = client.request(runtime, command, now=0)
+            assert response in (b"STORED\r\n", b"END\r\n") \
+                or response.startswith(b"VALUE")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            list(MemtierSpec().commands(1, protocol="http"))
+
+    def test_store_growth_saturates_at_keyspace(self):
+        spec = MemtierSpec(keyspace=1_000)
+        assert spec.expected_store_growth(100) < 1_000
+        assert spec.expected_store_growth(10_000_000) == 1_000
+
+    def test_store_growth_monotone(self):
+        spec = MemtierSpec()
+        values = [spec.expected_store_growth(n)
+                  for n in (0, 100, 10_000, 1_000_000)]
+        assert values == sorted(values)
+        assert values[0] == 0
+
+
+class TestFtpBenchSpec:
+    def test_variants(self):
+        assert FtpBenchSpec.small().file_size == 5
+        assert FtpBenchSpec.large().file_size == 10 * 1024 * 1024
+        assert FtpBenchSpec.small().duration_ns == 60 * 10**9
+
+    def test_payload_size_and_determinism(self):
+        spec = FtpBenchSpec.small()
+        assert len(spec.payload()) == 5
+        assert spec.payload() == spec.payload()
+
+    def test_commands_repeat_retr(self):
+        commands = FtpBenchSpec.small().commands(3)
+        assert commands == [b"RETR bench.bin"] * 3
+
+    def test_bench_loop_against_server(self):
+        spec = FtpBenchSpec.small()
+        kernel = VirtualKernel()
+        kernel.fs.write_file("/" + spec.file_name, spec.payload())
+        server = VsftpdServer(vsftpd_version("2.0.5"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["vsftpd-small"])
+        client = FtpClient(kernel, server.address)
+        client.login(runtime)
+        for _ in range(5):
+            _, data = client.retr(runtime, spec.file_name)
+            assert data == spec.payload()
+
+
+class TestVirtualClient:
+    def test_latencies_recorded(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+        client = VirtualClient(kernel, server.address)
+        client.command(runtime, b"PING")
+        client.command(runtime, b"PING")
+        assert len(client.latencies_ns) == 2
+        assert client.max_latency_ns() >= max(client.latencies_ns[0], 1)
+
+    def test_max_latency_none_without_requests(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        client = VirtualClient(kernel, server.address)
+        assert client.max_latency_ns() is None
+
+    def test_command_appends_crlf(self):
+        kernel = VirtualKernel()
+        server = RedisServer(redis_version("2.0.0"))
+        server.attach(kernel)
+        runtime = NativeRuntime(kernel, server, PROFILES["redis"])
+        client = VirtualClient(kernel, server.address)
+        assert client.command(runtime, b"PING") == b"+PONG\r\n"
+        assert client.command(runtime, b"PING\r\n") == b"+PONG\r\n"
+
+
+class TestFtpClientParsing:
+    def test_pasv_reply_parsing(self):
+        reply = b"227 Entering Passive Mode (127,0,0,1,78,32).\r\n"
+        assert FtpClient._parse_data_port(reply) == 78 * 256 + 32
+
+    def test_epsv_reply_parsing(self):
+        reply = b"229 Entering Extended Passive Mode (|||20007|).\r\n"
+        assert FtpClient._parse_data_port(reply) == 20007
+
+    def test_garbage_reply_rejected(self):
+        from repro.errors import KernelError
+        with pytest.raises(KernelError):
+            FtpClient._parse_data_port(b"500 nope\r\n")
