@@ -9,6 +9,10 @@
     python -m repro cluster       # rolling-upgrade ablation
     python -m repro all           # everything above, in order
     python -m repro experiments   # emit EXPERIMENTS.md to stdout
+    python -m repro lint          # mvelint: static rule/transformer checks
+
+``lint`` takes its own flags (``--json``, ``--app APP``,
+``--catalog PATH``); see ``docs/linting.md``.
 """
 
 from __future__ import annotations
@@ -31,12 +35,19 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # mvelint has its own flags; dispatch before experiment parsing.
+        from repro.analysis.cli import lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all"],
-                        help="which experiment to run")
+                        choices=sorted(_COMMANDS) + ["all", "lint"],
+                        help="which experiment to run ('lint' runs the "
+                             "mvelint static analyzers)")
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name in ("table1", "table2", "fig6", "fig7", "faults",

@@ -1,0 +1,45 @@
+"""mvelint — static checking of MVEDSUA's programmer-written artifacts.
+
+The paper's availability story rests on two artifacts humans write by
+hand: rewrite rules (Figures 4–5) and DSU state transformers (§6.2),
+and its fault experiments show these are exactly where errors creep in.
+This package finds those errors *before* deploy instead of as runtime
+divergences or corrupted heaps:
+
+* :mod:`repro.analysis.rules_lint` — shadowed/unreachable rules,
+  conflicting overlaps, dead directions, pinned fds (MVE1xx);
+* :mod:`repro.analysis.coverage` — version-vocabulary and response-text
+  deltas with no covering rule (MVE2xx);
+* :mod:`repro.analysis.transform_audit` — key drops, type changes,
+  input aliasing, non-determinism in state transformers (MVE3xx);
+* :mod:`repro.analysis.paths` — missing transformers/rule sets and
+  unreachable versions in the update graph (MVE4xx).
+
+Run it via ``python -m repro lint [--json] [--app APP]``; see
+``docs/linting.md`` for the finding codes and CI gating.
+"""
+
+from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
+from repro.analysis.coverage import check_coverage
+from repro.analysis.findings import Finding, LintReport, Severity
+from repro.analysis.paths import audit_paths
+from repro.analysis.rules_lint import lint_rules
+from repro.analysis.transform_audit import audit_transforms, seeded_heap
+from repro.analysis.cli import lint_main, run_app, run_catalog
+
+__all__ = [
+    "AppConfig",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "audit_paths",
+    "audit_transforms",
+    "check_coverage",
+    "default_catalog",
+    "lint_main",
+    "lint_rules",
+    "load_catalog",
+    "run_app",
+    "run_catalog",
+    "seeded_heap",
+]

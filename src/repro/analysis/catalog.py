@@ -1,0 +1,151 @@
+"""The app catalog mvelint runs over.
+
+An :class:`AppConfig` bundles everything the four analyzers need for one
+application: its version registry, transformer registry, rule-set
+factory, seed traffic for building synthetic heaps, and an allowlist of
+findings the app deliberately accepts (each with a justification below).
+
+:func:`default_catalog` covers every server shipped in
+``repro.servers``; :func:`load_catalog` loads a custom catalog from a
+Python file exposing a ``catalog()`` function — this is how the test
+fixtures (and downstream users) lint their own configurations::
+
+    python -m repro lint --catalog my_catalog.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.dsu.transform import TransformRegistry
+from repro.dsu.version import VersionRegistry
+from repro.mve.dsl.rules import RuleSet
+
+
+@dataclass
+class AppConfig:
+    """Everything mvelint needs to analyze one application."""
+
+    name: str
+    versions: VersionRegistry
+    transforms: TransformRegistry
+    #: ``rules_for(old, new)`` returns the pair's RuleSet (empty when the
+    #: releases are syscall-identical).
+    rules_for: Callable[[str, str], RuleSet]
+    #: Requests replayed through ``handle()`` to populate synthetic
+    #: heaps for the transformer audit.
+    seed_requests: Tuple[bytes, ...] = ()
+    #: ``(code, location_substring)`` pairs of accepted findings; keep a
+    #: comment next to each entry saying *why* it is acceptable.
+    allow: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+def _kvstore_config() -> AppConfig:
+    from repro.servers.kvstore.rules import kv_rules_from_dsl
+    from repro.servers.kvstore.transforms import kv_transforms
+    from repro.servers.kvstore.versions import kvstore_registry
+
+    def rules_for(old: str, new: str) -> RuleSet:
+        if (old, new) == ("1.0", "2.0"):
+            return kv_rules_from_dsl()
+        return RuleSet()
+
+    return AppConfig(
+        name="kvstore",
+        versions=kvstore_registry(),
+        transforms=kv_transforms(),
+        rules_for=rules_for,
+        seed_requests=(b"PUT alpha one", b"PUT beta two",
+                       b"PUT gamma three"),
+        allow=(
+            # §3.3.2: after promotion the new leader executes commands
+            # the old follower cannot mirror; the follower diverges and
+            # is terminated, exactly as the paper prescribes (only
+            # PUT-string has an old-version equivalent, Figure 4b).
+            ("MVE201", "updated-leader command PUT-number"),
+            ("MVE201", "updated-leader command PUT-date"),
+            ("MVE201", "updated-leader command TYPE"),
+        ),
+    )
+
+
+def _redis_config() -> AppConfig:
+    from repro.servers.redis.rules import redis_rules
+    from repro.servers.redis.transforms import redis_transforms
+    from repro.servers.redis.versions import redis_registry
+
+    return AppConfig(
+        name="redis",
+        versions=redis_registry(),
+        transforms=redis_transforms(),
+        rules_for=redis_rules,
+        seed_requests=(b"SET alpha one", b"SET beta two",
+                       b"SET gamma three"),
+    )
+
+
+def _vsftpd_config() -> AppConfig:
+    from repro.servers.vsftpd.rules import vsftpd_rules
+    from repro.servers.vsftpd.transforms import vsftpd_transforms
+    from repro.servers.vsftpd.versions import vsftpd_registry
+
+    return AppConfig(
+        name="vsftpd",
+        versions=vsftpd_registry(),
+        transforms=vsftpd_transforms(),
+        rules_for=vsftpd_rules,
+        # Vsftpd is essentially stateless (§5.1): the initial heap's
+        # allocation counters are already representative.
+        seed_requests=(),
+    )
+
+
+def _memcached_config() -> AppConfig:
+    from repro.servers.memcached.rules import memcached_rules
+    from repro.servers.memcached.transforms import memcached_transforms
+    from repro.servers.memcached.versions import memcached_registry
+
+    return AppConfig(
+        name="memcached",
+        versions=memcached_registry(),
+        transforms=memcached_transforms(),
+        rules_for=memcached_rules,
+        seed_requests=(b"set alpha 0 0 3\r\none",
+                       b"set beta 0 0 3\r\ntwo"),
+    )
+
+
+def _snort_config() -> AppConfig:
+    from repro.servers.snort.versions import snort_registry, snort_transforms
+
+    return AppConfig(
+        name="snort",
+        versions=snort_registry(),
+        transforms=snort_transforms(),
+        # 1.0 and 1.1 agree byte-for-byte on rule-free traffic; the
+        # interesting divergence is semantic, not syscall-shaped.
+        rules_for=lambda old, new: RuleSet(),
+        seed_requests=(b"PKT 10.0.0.1 probe", b"PKT 10.0.0.2 probe"),
+    )
+
+
+def default_catalog() -> Dict[str, AppConfig]:
+    """Configs for every server shipped in :mod:`repro.servers`."""
+    configs = (_kvstore_config(), _redis_config(), _vsftpd_config(),
+               _memcached_config(), _snort_config())
+    return {config.name: config for config in configs}
+
+
+def load_catalog(path: str) -> Dict[str, AppConfig]:
+    """Load a catalog from a Python file exposing ``catalog()``."""
+    spec = importlib.util.spec_from_file_location("mvelint_catalog", path)
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot load catalog from {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    factory = getattr(module, "catalog", None)
+    if factory is None:
+        raise ValueError(f"{path!r} does not define a catalog() function")
+    return factory()

@@ -1,0 +1,112 @@
+"""The ``python -m repro lint`` entry point.
+
+Runs all four mvelint analyzers over an app catalog and prints either a
+human-readable report or machine-readable JSON (``--json``) whose shape
+is documented in ``docs/linting.md``.  The exit status is 0 when no
+non-allowlisted ERROR finding exists, 1 otherwise — CI gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
+from repro.analysis.coverage import check_coverage
+from repro.analysis.findings import LintReport, Severity
+from repro.analysis.paths import audit_paths
+from repro.analysis.rules_lint import lint_rules
+from repro.analysis.transform_audit import audit_transforms
+from repro.errors import NoUpdatePath
+
+
+def run_app(config: AppConfig) -> LintReport:
+    """Run all analyzers over one app; allowlist already applied."""
+    report = LintReport(apps=[config.name])
+    app = config.name
+    report.extend(audit_paths(app, config.versions, config.transforms,
+                              config.rules_for))
+    for old, new in config.versions.update_pairs(app):
+        try:
+            old_version = config.versions.get(app, old)
+            new_version = config.versions.get(app, new)
+        except NoUpdatePath:  # pragma: no cover - registry is consistent
+            continue
+        try:
+            ruleset = config.rules_for(old, new)
+        except Exception:
+            continue  # already reported as MVE402 by the path audit
+        if ruleset is None:
+            continue  # likewise
+        report.extend(lint_rules(ruleset, app=app, pair=f"{old}->{new}",
+                                 old_version=old_version,
+                                 new_version=new_version))
+        report.extend(check_coverage(app, old_version, new_version,
+                                     ruleset))
+    report.extend(audit_transforms(app, config.versions, config.transforms,
+                                   config.seed_requests))
+    report.apply_allowlist(app, config.allow)
+    return report
+
+
+def run_catalog(catalog: Dict[str, AppConfig],
+                apps: Optional[Iterable[str]] = None) -> LintReport:
+    """Run all analyzers over (a subset of) a catalog."""
+    selected = list(apps) if apps else list(catalog)
+    report = LintReport()
+    for name in selected:
+        app_report = run_app(catalog[name])
+        report.apps.extend(app_report.apps)
+        report.extend(app_report.findings)
+    return report
+
+
+def lint_main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="mvelint: statically check rewrite rules, state "
+                    "transformers, and update paths before deploying.")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--app", action="append", metavar="APP",
+                        help="limit analysis to APP (repeatable)")
+    parser.add_argument("--catalog", metavar="PATH",
+                        help="Python file exposing catalog() -> "
+                             "{name: AppConfig}; defaults to the "
+                             "built-in server catalog")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.catalog:
+        try:
+            catalog = load_catalog(args.catalog)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load catalog {args.catalog!r}: {exc}")
+    else:
+        catalog = default_catalog()
+    if args.app:
+        unknown = [a for a in args.app if a not in catalog]
+        if unknown:
+            parser.error(f"unknown app(s): {', '.join(unknown)} "
+                         f"(catalog has: {', '.join(sorted(catalog))})")
+    report = run_catalog(catalog, args.app)
+
+    if args.json:
+        print(report.to_json())
+    else:
+        _print_human(report)
+    return 1 if report.has_errors else 0
+
+
+def _print_human(report: LintReport) -> None:
+    print(f"mvelint: analyzed {', '.join(report.apps)}")
+    for finding in report.sorted_findings():
+        print(finding.render())
+    errors = report.count(Severity.ERROR)
+    warnings = report.count(Severity.WARNING)
+    infos = report.count(Severity.INFO)
+    allowlisted = sum(1 for f in report.findings if f.allowlisted)
+    print(f"{errors} error(s), {warnings} warning(s), {infos} info(s), "
+          f"{allowlisted} allowlisted")
+    if not report.has_errors:
+        print("ok: no blocking findings")

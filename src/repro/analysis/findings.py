@@ -1,0 +1,135 @@
+"""Structured findings emitted by the mvelint analyzers.
+
+Every analyzer returns a list of :class:`Finding` objects; the CLI
+aggregates them into a :class:`LintReport` whose JSON form is stable so
+CI can gate on it.  Finding codes are grouped by analyzer:
+
+====== ==========================================================
+Range  Analyzer
+====== ==========================================================
+MVE1xx rewrite-rule lint (:mod:`repro.analysis.rules_lint`)
+MVE2xx coverage cross-check (:mod:`repro.analysis.coverage`)
+MVE3xx state-transformer audit (:mod:`repro.analysis.transform_audit`)
+MVE4xx update-path audit (:mod:`repro.analysis.paths`)
+====== ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe defects that *will* surface at runtime
+    (a guaranteed divergence, a corrupted heap, a dead rule) and gate
+    CI; ``WARNING`` findings are suspicious but tolerable (e.g. a
+    post-promotion divergence the paper's §3.3.2 explicitly permits);
+    ``INFO`` findings are stylistic.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect located by one analyzer."""
+
+    code: str
+    severity: Severity
+    analyzer: str
+    app: str
+    location: str
+    message: str
+    #: True when the app's catalog entry deliberately accepts this
+    #: finding (with a justification in the catalog source); allowlisted
+    #: findings are reported but never gate.
+    allowlisted: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "analyzer": self.analyzer,
+            "app": self.app,
+            "location": self.location,
+            "message": self.message,
+            "allowlisted": self.allowlisted,
+        }
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        suffix = "  (allowlisted)" if self.allowlisted else ""
+        return (f"{self.severity.value.upper():7s} {self.code} "
+                f"[{self.analyzer}] {self.location}: {self.message}{suffix}")
+
+
+@dataclass
+class LintReport:
+    """All findings from one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Apps that were analyzed (reported even when clean).
+    apps: List[str] = field(default_factory=list)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.severity.rank, f.app, f.code,
+                                     f.location))
+
+    def count(self, severity: Severity, *,
+              include_allowlisted: bool = False) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is severity
+                   and (include_allowlisted or not f.allowlisted))
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any non-allowlisted ERROR finding exists."""
+        return self.count(Severity.ERROR) > 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "apps": list(self.apps),
+            "findings": [f.as_dict() for f in self.sorted_findings()],
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "infos": self.count(Severity.INFO),
+            "allowlisted": sum(1 for f in self.findings if f.allowlisted),
+            "ok": not self.has_errors,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def apply_allowlist(self, app: str, allow) -> None:
+        """Mark findings matched by ``allow`` as accepted.
+
+        ``allow`` is an iterable of ``(code, location_substring)``
+        pairs; a finding is allowlisted when its code matches exactly
+        and the substring occurs in its location.
+        """
+        rules = tuple(allow)
+        if not rules:
+            return
+        for index, finding in enumerate(self.findings):
+            if finding.app != app or finding.allowlisted:
+                continue
+            for code, fragment in rules:
+                if finding.code == code and fragment in finding.location:
+                    self.findings[index] = replace(finding, allowlisted=True)
+                    break

@@ -61,6 +61,18 @@ class TransformRegistry:
         """True when an update path exists."""
         return (app, old, new) in self._transformers
 
+    def pairs(self, app: Optional[str] = None):
+        """Registered ``(old, new)`` version edges, optionally per app.
+
+        With ``app`` given, returns ``[(old, new), ...]``; without it,
+        ``[(app, old, new), ...]``.  Registration order is preserved.
+        mvelint's update-path audit walks these edges.
+        """
+        if app is None:
+            return list(self._transformers)
+        return [(old, new) for (a, old, new) in self._transformers
+                if a == app]
+
     def apply(self, app: str, old: str, new: str,
               heap: Dict[str, Any]) -> Dict[str, Any]:
         """Run the transformer, wrapping failures as update errors.

@@ -69,6 +69,17 @@ class ServerVersion:
         """
         return 0
 
+    def response_texts(self) -> FrozenSet[bytes]:
+        """Static response payloads this version is known to produce.
+
+        Used by mvelint (:mod:`repro.analysis`) to cross-check rewrite
+        rules against cross-version response-text deltas.  Only *static*
+        texts belong here (banners, error strings, fixed status lines);
+        dynamic payloads (values, listings) must be omitted.  The default
+        empty set means "unknown" and disables text-based checks.
+        """
+        return frozenset()
+
     def describe(self) -> str:
         """``app-name`` label used in logs and reports."""
         return f"{self.app}-{self.name}"

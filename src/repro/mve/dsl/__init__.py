@@ -31,9 +31,25 @@ from repro.mve.dsl.rules import (
     swap_adjacent,
     tolerate_extra_reply,
 )
-from repro.mve.dsl.parser import parse_rules
+from repro.mve.dsl.parser import (
+    CondAst,
+    EmitAst,
+    ExprAst,
+    MatchAst,
+    RuleAst,
+    compile_rule,
+    parse_rules,
+    parse_rules_ast,
+)
 
 __all__ = [
+    "CondAst",
+    "EmitAst",
+    "ExprAst",
+    "MatchAst",
+    "RuleAst",
+    "compile_rule",
+    "parse_rules_ast",
     "ANY_FD",
     "Direction",
     "RewriteRule",

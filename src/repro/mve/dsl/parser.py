@@ -39,6 +39,13 @@ Grammar (informal)::
 Variables bind the fd and payload of the matched records; emitted records
 reuse the matched record's fd (patterns in this reproduction always apply
 per-connection, which is what the paper's rules do too).
+
+Parsing happens in two stages: the grammar above is first read into an
+inspectable AST (:class:`RuleAst` and friends), which ``mvelint``
+(:mod:`repro.analysis`) walks for static checks, and the AST is then
+compiled into executable :class:`~repro.mve.dsl.rules.RewriteRule`
+objects.  Compiled rules keep a reference to their source AST in
+``RewriteRule.ast``.
 """
 
 from __future__ import annotations
@@ -107,18 +114,90 @@ def _tokenize(text: str) -> List[str]:
     return tokens
 
 
-@dataclass
-class _MatchItem:
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchAst:
+    """One ``syscall(fdvar, datavar)`` match position."""
+
     syscall: Sys
     fd_var: str
     data_var: str
 
 
-@dataclass
-class _EmitItem:
+@dataclass(frozen=True)
+class CondAst:
+    """One ``where`` condition over a bound payload variable.
+
+    ``op`` is one of ``eq``, ``ne``, ``startswith``, ``endswith``,
+    ``contains``.
+    """
+
+    op: str
+    var: str
+    literal: bytes
+
+    def evaluate(self, data: bytes) -> bool:
+        """Apply this condition to a payload."""
+        if self.op == "eq":
+            return data == self.literal
+        if self.op == "ne":
+            return data != self.literal
+        return _PREDICATES[self.op](data, self.literal)
+
+
+@dataclass(frozen=True)
+class ExprAst:
+    """One emit expression.
+
+    ``op`` is one of ``literal``, ``var``, ``concat``, ``replace``,
+    ``replace_prefix``; the operand fields used depend on the op.
+    """
+
+    op: str
+    var: Optional[str] = None
+    other: Optional[str] = None
+    literal: Optional[bytes] = None
+    old: Optional[bytes] = None
+    new: Optional[bytes] = None
+
+    def variables(self) -> Tuple[str, ...]:
+        """Payload variables this expression reads."""
+        return tuple(v for v in (self.var, self.other) if v is not None)
+
+
+@dataclass(frozen=True)
+class EmitAst:
+    """One ``syscall(fdvar, expr)`` emission."""
+
     syscall: Sys
     fd_var: str
-    expr: Callable[[Dict[str, bytes]], bytes]
+    expr: ExprAst
+
+
+@dataclass(frozen=True)
+class RuleAst:
+    """One parsed rule, before compilation."""
+
+    name: str
+    direction: Direction
+    matches: Tuple[MatchAst, ...]
+    conditions: Tuple[CondAst, ...] = ()
+    emits: Tuple[EmitAst, ...] = ()
+
+    def conditions_for(self, data_var: str) -> Tuple[CondAst, ...]:
+        """The conditions constraining one payload variable."""
+        return tuple(c for c in self.conditions if c.var == data_var)
+
+    def used_variables(self) -> frozenset:
+        """Payload variables referenced by any condition or emit."""
+        used = {c.var for c in self.conditions}
+        for emit in self.emits:
+            used.update(emit.expr.variables())
+        return frozenset(used)
 
 
 class _Parser:
@@ -150,13 +229,18 @@ class _Parser:
 
     # -- grammar -------------------------------------------------------------
 
-    def parse_rules(self) -> List[RewriteRule]:
+    def parse_rules(self) -> List[RuleAst]:
         rules = []
+        seen = set()
         while not self.at_end():
-            rules.append(self.parse_rule())
+            rule = self.parse_rule()
+            if rule.name in seen:
+                raise DslSyntaxError(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+            rules.append(rule)
         return rules
 
-    def parse_rule(self) -> RewriteRule:
+    def parse_rule(self) -> RuleAst:
         self.expect("rule")
         name = self.next()
         direction = Direction.OUTDATED_LEADER
@@ -179,9 +263,10 @@ class _Parser:
         while self.peek() == ",":
             self.next()
             emits.append(self.parse_emit(matches))
-        return _build_rule(name, direction, matches, conditions, emits)
+        return RuleAst(name, direction, tuple(matches), tuple(conditions),
+                       tuple(emits))
 
-    def parse_match(self) -> _MatchItem:
+    def parse_match(self) -> MatchAst:
         syscall_name = self.next()
         if syscall_name not in _SYSCALLS:
             raise DslSyntaxError(f"unknown syscall {syscall_name!r}")
@@ -190,31 +275,29 @@ class _Parser:
         self.expect(",")
         data_var = self.next()
         self.expect(")")
-        return _MatchItem(_SYSCALLS[syscall_name], fd_var, data_var)
+        return MatchAst(_SYSCALLS[syscall_name], fd_var, data_var)
 
-    def parse_condition(self, matches: List[_MatchItem]):
-        """Returns (var_name, predicate over payload bytes)."""
+    def parse_condition(self, matches: List[MatchAst]) -> CondAst:
         head = self.next()
         if head in _PREDICATES:
-            predicate = _PREDICATES[head]
             self.expect("(")
             var = self.next()
             self.expect(",")
             literal = self._string()
             self.expect(")")
             _require_var(var, matches)
-            return (var, lambda data, p=predicate, lit=literal: p(data, lit))
+            return CondAst(head, var, literal)
         var = head
         operator = self.next()
         literal = self._string()
         _require_var(var, matches)
         if operator == "==":
-            return (var, lambda data, lit=literal: data == lit)
+            return CondAst("eq", var, literal)
         if operator == "!=":
-            return (var, lambda data, lit=literal: data != lit)
+            return CondAst("ne", var, literal)
         raise DslSyntaxError(f"unknown operator {operator!r}")
 
-    def parse_emit(self, matches: List[_MatchItem]) -> _EmitItem:
+    def parse_emit(self, matches: List[MatchAst]) -> EmitAst:
         syscall_name = self.next()
         if syscall_name not in _SYSCALLS:
             raise DslSyntaxError(f"unknown syscall {syscall_name!r}")
@@ -224,13 +307,12 @@ class _Parser:
         expr = self.parse_expr(matches)
         self.expect(")")
         _require_fd_var(fd_var, matches)
-        return _EmitItem(_SYSCALLS[syscall_name], fd_var, expr)
+        return EmitAst(_SYSCALLS[syscall_name], fd_var, expr)
 
-    def parse_expr(self, matches: List[_MatchItem]):
+    def parse_expr(self, matches: List[MatchAst]) -> ExprAst:
         head = self.next()
         if head.startswith('"'):
-            literal = _unescape(head)
-            return lambda env, lit=literal: lit
+            return ExprAst("literal", literal=_unescape(head))
         if head in ("replace_prefix", "replace"):
             self.expect("(")
             var = self.next()
@@ -240,22 +322,15 @@ class _Parser:
             new = self._string()
             self.expect(")")
             _require_var(var, matches)
-            if head == "replace_prefix":
-                def prefix_expr(env, v=var, o=old, n=new):
-                    data = env[v]
-                    if data.startswith(o):
-                        return n + data[len(o):]
-                    return data
-                return prefix_expr
-            return lambda env, v=var, o=old, n=new: env[v].replace(o, n)
+            return ExprAst(head, var=var, old=old, new=new)
         var = head
         _require_var(var, matches)
         if self.peek() == "+":
             self.next()
             other = self.next()
             _require_var(other, matches)
-            return lambda env, a=var, b=other: env[a] + env[b]
-        return lambda env, v=var: env[v]
+            return ExprAst("concat", var=var, other=other)
+        return ExprAst("var", var=var)
 
     def _string(self) -> bytes:
         token = self.next()
@@ -264,52 +339,77 @@ class _Parser:
         return _unescape(token)
 
 
-def _require_var(var: str, matches: List[_MatchItem]) -> None:
+def _require_var(var: str, matches: List[MatchAst]) -> None:
     if var not in {m.data_var for m in matches}:
         raise DslSyntaxError(f"unbound payload variable {var!r}")
 
 
-def _require_fd_var(var: str, matches: List[_MatchItem]) -> None:
+def _require_fd_var(var: str, matches: List[MatchAst]) -> None:
     if var not in {m.fd_var for m in matches}:
         raise DslSyntaxError(f"unbound fd variable {var!r}")
 
 
-def _build_rule(name: str, direction: Direction,
-                matches: List[_MatchItem],
-                conditions: List[Tuple[str, Callable[[bytes], bool]]],
-                emits: List[_EmitItem]) -> RewriteRule:
-    """Compile the parsed pieces into a RewriteRule."""
-    per_var: Dict[str, List[Callable[[bytes], bool]]] = {}
-    for var, predicate in conditions:
-        per_var.setdefault(var, []).append(predicate)
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
 
+
+def _compile_expr(expr: ExprAst) -> Callable[[Dict[str, bytes]], bytes]:
+    if expr.op == "literal":
+        return lambda env, lit=expr.literal: lit
+    if expr.op == "var":
+        return lambda env, v=expr.var: env[v]
+    if expr.op == "concat":
+        return lambda env, a=expr.var, b=expr.other: env[a] + env[b]
+    if expr.op == "replace_prefix":
+        def prefix_expr(env, v=expr.var, o=expr.old, n=expr.new):
+            data = env[v]
+            if data.startswith(o):
+                return n + data[len(o):]
+            return data
+        return prefix_expr
+    if expr.op == "replace":
+        return lambda env, v=expr.var, o=expr.old, n=expr.new: \
+            env[v].replace(o, n)
+    raise DslSyntaxError(f"unknown expression op {expr.op!r}")
+
+
+def compile_rule(ast: RuleAst) -> RewriteRule:
+    """Compile one parsed rule into an executable :class:`RewriteRule`."""
     pattern = []
-    for item in matches:
-        predicates = per_var.get(item.data_var, [])
-        if predicates:
-            def combined(data, preds=tuple(predicates)):
-                return all(p(data) for p in preds)
+    for item in ast.matches:
+        conds = ast.conditions_for(item.data_var)
+        if conds:
+            def combined(data, conds=conds):
+                return all(c.evaluate(data) for c in conds)
             pattern.append(SyscallPattern(item.syscall, predicate=combined))
         else:
             pattern.append(SyscallPattern(item.syscall))
 
-    fd_of = {m.fd_var: index for index, m in enumerate(matches)}
-    var_of = {m.data_var: index for index, m in enumerate(matches)}
+    fd_of = {m.fd_var: index for index, m in enumerate(ast.matches)}
+    var_of = {m.data_var: index for index, m in enumerate(ast.matches)}
+    emits = tuple((e.syscall, e.fd_var, _compile_expr(e.expr))
+                  for e in ast.emits)
 
     def action(matched: List[SyscallRecord],
-               emits=tuple(emits)) -> List[SyscallRecord]:
+               emits=emits) -> List[SyscallRecord]:
         env = {var: matched[index].data for var, index in var_of.items()}
         out = []
-        for emit in emits:
-            source = matched[fd_of[emit.fd_var]]
-            data = emit.expr(env)
-            out.append(SyscallRecord(emit.syscall, fd=source.fd, data=data,
+        for syscall, fd_var, expr in emits:
+            source = matched[fd_of[fd_var]]
+            data = expr(env)
+            out.append(SyscallRecord(syscall, fd=source.fd, data=data,
                                      result=len(data)))
         return out
 
-    return RewriteRule(name, pattern, action, direction)
+    return RewriteRule(ast.name, pattern, action, ast.direction, ast=ast)
+
+
+def parse_rules_ast(text: str) -> List[RuleAst]:
+    """Parse DSL ``text`` into inspectable :class:`RuleAst` objects."""
+    return _Parser(_tokenize(text)).parse_rules()
 
 
 def parse_rules(text: str) -> List[RewriteRule]:
     """Parse DSL ``text`` into :class:`RewriteRule` objects."""
-    return _Parser(_tokenize(text)).parse_rules()
+    return [compile_rule(ast) for ast in parse_rules_ast(text)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.errors import RuleError
 from repro.syscalls.model import Sys, SyscallRecord
@@ -71,6 +71,10 @@ class RewriteRule:
     pattern: Sequence[SyscallPattern]
     action: Action
     direction: Direction = Direction.OUTDATED_LEADER
+    #: Source AST for rules built from the textual DSL (a
+    #: :class:`repro.mve.dsl.parser.RuleAst`); None for rules built with
+    #: the programmatic API.  mvelint uses it for structural checks.
+    ast: Any = None
 
     def __post_init__(self) -> None:
         if not self.pattern:

@@ -8,7 +8,13 @@ paper's §2.4 (an uninitialised field, a dropped table) are provided for
 fault-tolerance experiments.
 """
 
-from repro.servers.kvstore.versions import KVStoreV1, KVStoreV2, KVStoreServer
+from repro.servers.kvstore.versions import (
+    KVSTORE_VERSIONS,
+    KVStoreV1,
+    KVStoreV2,
+    KVStoreServer,
+    kvstore_registry,
+)
 from repro.servers.kvstore.transforms import (
     kv_transforms,
     xform_1_to_2,
@@ -22,6 +28,8 @@ from repro.servers.kvstore.transforms import (
 from repro.servers.kvstore.rules import kv_rules, kv_rules_from_dsl, kv_rules_text
 
 __all__ = [
+    "KVSTORE_VERSIONS",
+    "kvstore_registry",
     "KVStoreV1",
     "KVStoreV2",
     "KVStoreServer",

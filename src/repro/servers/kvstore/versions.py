@@ -65,6 +65,9 @@ class KVStoreV1(ServerVersion):
     def heap_entries(self, heap) -> int:
         return len(heap["table"])
 
+    def response_texts(self):
+        return frozenset({OK, NOT_FOUND, UNKNOWN})
+
     def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
         verb, typ, key, value = parse_request(request)
         table = heap["table"]
@@ -98,6 +101,9 @@ class KVStoreV2(ServerVersion):
     def heap_entries(self, heap) -> int:
         return len(heap["table"])
 
+    def response_texts(self):
+        return frozenset({OK, NOT_FOUND, UNKNOWN})
+
     def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
         verb, typ, key, value = parse_request(request)
         table = heap["table"]
@@ -129,6 +135,19 @@ class KVStoreV2(ServerVersion):
         if entry.get("typ") is None:
             raise ServerCrash(
                 f"dereferenced uninitialised type field of entry {key!r}")
+
+
+#: Release order (the paper's Figure 1 pair).
+KVSTORE_VERSIONS = ("1.0", "2.0")
+
+
+def kvstore_registry():
+    """Both releases in a :class:`~repro.dsu.version.VersionRegistry`."""
+    from repro.dsu.version import VersionRegistry
+    registry = VersionRegistry()
+    registry.register(KVStoreV1())
+    registry.register(KVStoreV2())
+    return registry
 
 
 class KVStoreServer(Server):

@@ -61,6 +61,9 @@ class SnortVersion(ServerVersion):
     def heap_entries(self, heap) -> int:
         return len(heap["flows"])
 
+    def response_texts(self):
+        return frozenset({OK, ERR})
+
     def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:
         parts = request.decode("latin-1").split(" ")
         verb = parts[0].upper()

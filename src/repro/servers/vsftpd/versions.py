@@ -71,6 +71,21 @@ class VsftpdVersion(ServerVersion):
         """The 220 greeting for new control connections."""
         return self.features.banner.encode() + b"\r\n"
 
+    def response_texts(self):
+        """The release's static control-channel texts (feature-derived).
+
+        These are exactly the texts that vary across the 14 releases, so
+        mvelint can diff two releases' sets and demand a rewrite rule for
+        every delta.
+        """
+        return frozenset({
+            self.features.banner.encode() + b"\r\n",
+            self.features.syst.encode() + b"\r\n",
+            self.features.login_prompt.encode() + b"\r\n",
+            self.features.goodbye.encode() + b"\r\n",
+            self.features.feat_text(),
+        })
+
     # ------------------------------------------------------------------
 
     def handle(self, heap, request: bytes, session=None, io=None) -> List[bytes]:

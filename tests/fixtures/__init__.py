@@ -1,0 +1,1 @@
+"""Intentionally-defective fixtures for the mvelint test suite."""

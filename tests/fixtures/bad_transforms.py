@@ -1,0 +1,81 @@
+"""State transformers exhibiting the paper's §2.4/§6.2 error classes.
+
+Each function below is wrong in exactly one way so the test suite can
+assert the transformer audit attributes each defect to the right MVE3xx
+code.  They all expect the kvstore-ish heap shape
+``{"table": {key: entry, ...}, ...}`` that :func:`badkv heap fixtures
+<tests.fixtures.bad_catalog>` and the tests build.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict
+
+
+def xform_drop_table(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Drops a whole top-level heap key (MVE302)."""
+    new = copy.deepcopy(heap)
+    del new["table"]
+    return new
+
+
+def xform_drop_entries(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Migrates the table but forgets its entries (MVE302)."""
+    new = copy.deepcopy(heap)
+    new["table"] = {}
+    return new
+
+
+def xform_change_kind(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Turns the table dict into a list of keys (MVE303)."""
+    new = copy.deepcopy(heap)
+    new["table"] = sorted(new["table"])
+    return new
+
+
+def xform_not_a_heap(heap: Dict[str, Any]) -> Any:
+    """Returns something that is not a heap dict at all (MVE303)."""
+    return list(heap.items())
+
+
+def xform_alias_input(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Mutates the input heap *and* returns a different object (MVE304)."""
+    heap["table"]["junk"] = {"value": "junk"}
+    return {key: copy.deepcopy(value) for key, value in heap.items()}
+
+
+def make_nondeterministic():
+    """A transformer whose output depends on how often it ran (MVE305)."""
+    counter = itertools.count()
+
+    def xform(heap: Dict[str, Any]) -> Dict[str, Any]:
+        new = copy.deepcopy(heap)
+        new["nonce"] = next(counter)
+        return new
+
+    return xform
+
+
+def xform_none_field(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Adds a new per-entry field but leaves it None (MVE306).
+
+    This is the paper's Figure 1 bug: "field t is mistakenly left
+    uninitialized" during the v2.6→v2.7 memcached flags migration.
+    """
+    new = copy.deepcopy(heap)
+    new["table"] = {key: {"value": entry, "typ": None}
+                    for key, entry in new["table"].items()}
+    return new
+
+
+def xform_raises(heap: Dict[str, Any]) -> Dict[str, Any]:
+    """Crashes outright (MVE301)."""
+    raise RuntimeError("transformer exploded")
+
+
+def xform_returns_none(heap: Dict[str, Any]) -> None:
+    """Forgets to return the new heap (MVE301)."""
+    heap["table"] = dict(heap["table"])
+    return None

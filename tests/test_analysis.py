@@ -1,0 +1,415 @@
+"""Tests for mvelint (repro.analysis): all four analyzers, the catalog,
+and the ``python -m repro lint`` CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    audit_paths,
+    audit_transforms,
+    check_coverage,
+    default_catalog,
+    lint_main,
+    lint_rules,
+    run_app,
+    run_catalog,
+    seeded_heap,
+)
+from repro.dsu.transform import TransformRegistry
+from repro.dsu.version import ServerVersion, VersionRegistry
+from repro.mve.dsl import Direction, RuleSet, parse_rules, rewrite_write
+from tests.fixtures import bad_rules, bad_transforms
+from tests.fixtures.bad_catalog import APP, BadKVVersion
+from tests.fixtures.bad_catalog import catalog as bad_catalog
+
+FIXTURE_CATALOG = str(Path(__file__).parent / "fixtures" / "bad_catalog.py")
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def by_code(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+class _TextVersion(ServerVersion):
+    """Bare version carrying only response texts (for rule lint)."""
+
+    app = "toy"
+
+    def __init__(self, name, texts):
+        self.name = name
+        self._texts = frozenset(texts)
+
+    def response_texts(self):
+        return self._texts
+
+
+class _TextKV(BadKVVersion):
+    """BadKV with overridable static response texts (for coverage)."""
+
+    def __init__(self, name, extra, texts):
+        super().__init__(name, extra)
+        self._texts = frozenset(texts)
+
+    def response_texts(self):
+        return self._texts
+
+
+# ---------------------------------------------------------------------------
+# Analyzer 1: rule-set lint
+# ---------------------------------------------------------------------------
+
+
+class TestRulesLint:
+    def test_shadowed_rule_is_error(self):
+        findings = lint_rules(bad_rules.shadowed_rules())
+        flagged = by_code(findings, "MVE102")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+        assert "narrow" in flagged[0].location
+        assert "broad" in flagged[0].message
+
+    def test_conflicting_overlap_is_warning(self):
+        findings = lint_rules(bad_rules.conflicting_rules())
+        assert "MVE102" not in codes(findings)
+        flagged = by_code(findings, "MVE103")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.WARNING
+        assert "by_prefix" in flagged[0].message
+
+    def test_duplicate_name_reported_once(self):
+        findings = lint_rules(bad_rules.duplicate_name_rules())
+        flagged = by_code(findings, "MVE101")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+
+    def test_dead_direction_is_error(self):
+        old = _TextVersion("1", [b"old banner\r\n"])
+        new = _TextVersion("2", [b"new banner\r\n"])
+        rules = bad_rules.dead_direction_rules(b"old banner\r\n",
+                                               b"new banner\r\n")
+        findings = lint_rules(rules, old_version=old, new_version=new)
+        flagged = by_code(findings, "MVE104")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+
+    def test_correctly_tagged_direction_is_clean(self):
+        old = _TextVersion("1", [b"old banner\r\n"])
+        new = _TextVersion("2", [b"new banner\r\n"])
+        rules = RuleSet().add(rewrite_write(
+            "forward", lambda d: d == b"new banner\r\n",
+            lambda d: b"old banner\r\n",
+            direction=Direction.UPDATED_LEADER))
+        findings = lint_rules(rules, old_version=old, new_version=new)
+        assert "MVE104" not in codes(findings)
+
+    def test_pinned_fd_is_warning(self):
+        findings = lint_rules(bad_rules.pinned_fd_rules())
+        flagged = by_code(findings, "MVE105")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.WARNING
+        assert "fd 5" in flagged[0].message
+
+    def test_unused_binding_is_info(self):
+        findings = lint_rules(bad_rules.unused_var_rules())
+        flagged = by_code(findings, "MVE106")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.INFO
+        assert "'s'" in flagged[0].message
+
+    def test_shipped_kvstore_rules_are_clean(self):
+        from repro.servers.kvstore.rules import kv_rules_from_dsl
+        from repro.servers.kvstore.versions import kvstore_registry
+
+        registry = kvstore_registry()
+        findings = lint_rules(kv_rules_from_dsl(), app="kvstore",
+                              old_version=registry.get("kvstore", "1.0"),
+                              new_version=registry.get("kvstore", "2.0"))
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Analyzer 2: coverage cross-check
+# ---------------------------------------------------------------------------
+
+
+class TestCoverage:
+    def test_uncovered_added_command(self):
+        old = BadKVVersion("1", frozenset())
+        new = BadKVVersion("2", frozenset({"BOOM"}))
+        findings = check_coverage(APP, old, new, RuleSet())
+        flagged = by_code(findings, "MVE201")
+        assert {f.severity for f in flagged} == {Severity.ERROR,
+                                                 Severity.WARNING}
+        assert all("BOOM" in f.location for f in flagged)
+        # The paper's asymmetry: the validation window gates, the
+        # post-promotion window (§3.3.2) merely warns.
+        for finding in flagged:
+            if finding.severity is Severity.ERROR:
+                assert "outdated-leader" in finding.location
+            else:
+                assert "updated-leader" in finding.location
+
+    def test_covering_rule_silences_mve201(self):
+        old = BadKVVersion("1", frozenset())
+        new = BadKVVersion("2", frozenset({"BOOM"}))
+        rules = RuleSet()
+        for rule in parse_rules(r'''
+            rule boom both:
+                read(fd, s) where startswith(s, "BOOM")
+                    => read(fd, "bad-cmd\r\n")
+        '''):
+            rules.add(rule)
+        findings = check_coverage(APP, old, new, rules)
+        assert "MVE201" not in codes(findings)
+
+    def test_uncovered_response_text_delta(self):
+        old = _TextKV("1", frozenset(), [b"old banner\r\n"])
+        new = _TextKV("2", frozenset(), [b"new banner\r\n"])
+        findings = check_coverage(APP, old, new, RuleSet())
+        flagged = by_code(findings, "MVE202")
+        assert {f.severity for f in flagged} == {Severity.ERROR,
+                                                 Severity.WARNING}
+
+    def test_covering_write_rules_silence_mve202(self):
+        old = _TextKV("1", frozenset(), [b"old banner\r\n"])
+        new = _TextKV("2", frozenset(), [b"new banner\r\n"])
+        rules = RuleSet()
+        rules.add(rewrite_write("fwd", lambda d: d == b"old banner\r\n",
+                                lambda d: b"new banner\r\n",
+                                direction=Direction.OUTDATED_LEADER))
+        rules.add(rewrite_write("rev", lambda d: d == b"new banner\r\n",
+                                lambda d: b"old banner\r\n",
+                                direction=Direction.UPDATED_LEADER))
+        findings = check_coverage(APP, old, new, rules)
+        assert "MVE202" not in codes(findings)
+
+    def test_unknown_command_reference(self):
+        old = BadKVVersion("1", frozenset())
+        new = BadKVVersion("2", frozenset())
+        findings = check_coverage(APP, old, new,
+                                  bad_rules.shadowed_rules())
+        flagged = by_code(findings, "MVE203")
+        assert flagged, "rules referencing 'PUT' should be flagged"
+        assert all(f.severity is Severity.WARNING for f in flagged)
+
+
+# ---------------------------------------------------------------------------
+# Analyzer 3: transformer audit
+# ---------------------------------------------------------------------------
+
+
+def _audit(transformer):
+    versions = VersionRegistry()
+    versions.register(BadKVVersion("1", frozenset()))
+    versions.register(BadKVVersion("2", frozenset()))
+    transforms = TransformRegistry()
+    transforms.register(APP, "1", "2", transformer)
+    return audit_transforms(APP, versions, transforms,
+                            (b"SET alpha one", b"SET beta two"))
+
+
+class TestTransformAudit:
+    def test_seeded_heap_replays_requests(self):
+        heap = seeded_heap(BadKVVersion("1", frozenset()),
+                           (b"SET a 1", b"SET b 2", b"garbage"))
+        assert heap["table"] == {"a": "1", "b": "2"}
+        assert heap["stats"]["requests"] == 3
+
+    def test_key_drop(self):
+        flagged = by_code(_audit(bad_transforms.xform_drop_table), "MVE302")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+        assert "'table'" in flagged[0].message
+
+    def test_entry_drop(self):
+        flagged = by_code(_audit(bad_transforms.xform_drop_entries),
+                          "MVE302")
+        assert len(flagged) == 1
+        assert "entries dropped" in flagged[0].message
+
+    def test_kind_change(self):
+        flagged = by_code(_audit(bad_transforms.xform_change_kind), "MVE303")
+        assert len(flagged) == 1
+        assert "dict -> sequence" in flagged[0].message
+
+    def test_non_heap_return(self):
+        flagged = by_code(_audit(bad_transforms.xform_not_a_heap), "MVE303")
+        assert len(flagged) == 1
+        assert "not a heap" in flagged[0].message
+
+    def test_input_aliasing(self):
+        findings = _audit(bad_transforms.xform_alias_input)
+        assert "MVE304" in codes(findings)
+        assert "MVE305" not in codes(findings)
+
+    def test_in_place_mutation_is_accepted(self):
+        def in_place(heap):
+            heap["table"] = dict(heap["table"])
+            return heap
+
+        assert _audit(in_place) == []
+
+    def test_non_determinism(self):
+        findings = _audit(bad_transforms.make_nondeterministic())
+        flagged = by_code(findings, "MVE305")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+
+    def test_uninitialised_field(self):
+        findings = _audit(bad_transforms.xform_none_field)
+        flagged = by_code(findings, "MVE306")
+        assert flagged
+        assert all(f.severity is Severity.WARNING for f in flagged)
+        assert all("'typ'" in f.message for f in flagged)
+
+    def test_raising_transformer(self):
+        flagged = by_code(_audit(bad_transforms.xform_raises), "MVE301")
+        assert len(flagged) == 1
+        assert "raised" in flagged[0].message
+
+    def test_none_returning_transformer(self):
+        flagged = by_code(_audit(bad_transforms.xform_returns_none),
+                          "MVE301")
+        assert len(flagged) == 1
+        assert "no heap" in flagged[0].message
+
+    def test_shipped_kvstore_transforms_are_clean(self):
+        from repro.servers.kvstore.transforms import kv_transforms
+        from repro.servers.kvstore.versions import kvstore_registry
+
+        findings = audit_transforms(
+            "kvstore", kvstore_registry(), kv_transforms(),
+            (b"PUT alpha one", b"PUT beta two"))
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+
+# ---------------------------------------------------------------------------
+# Analyzer 4: update-path audit
+# ---------------------------------------------------------------------------
+
+
+def _three_versions():
+    versions = VersionRegistry()
+    for name in ("1", "2", "3"):
+        versions.register(BadKVVersion(name, frozenset()))
+    return versions
+
+
+class TestPathAudit:
+    def test_missing_transformer_and_unreachable_version(self):
+        transforms = TransformRegistry()
+        transforms.register(APP, "1", "2", lambda heap: dict(heap))
+        findings = audit_paths(APP, _three_versions(), transforms,
+                               lambda old, new: RuleSet())
+        missing = by_code(findings, "MVE401")
+        assert len(missing) == 1
+        assert missing[0].location == "2->3"
+        assert missing[0].severity is Severity.ERROR
+        unreachable = by_code(findings, "MVE403")
+        assert len(unreachable) == 1
+        assert "3" in unreachable[0].location
+        assert unreachable[0].severity is Severity.WARNING
+
+    def test_broken_ruleset_factory(self):
+        transforms = TransformRegistry()
+        transforms.register(APP, "1", "2", lambda heap: dict(heap))
+        transforms.register(APP, "2", "3", lambda heap: dict(heap))
+
+        def raising(old, new):
+            raise KeyError(f"{old}->{new}")
+
+        findings = audit_paths(APP, _three_versions(), transforms, raising)
+        assert len(by_code(findings, "MVE402")) == 2
+
+        findings = audit_paths(APP, _three_versions(), transforms,
+                               lambda old, new: None)
+        assert len(by_code(findings, "MVE402")) == 2
+
+    def test_dangling_transformer_edge(self):
+        versions = VersionRegistry()
+        versions.register(BadKVVersion("1", frozenset()))
+        versions.register(BadKVVersion("2", frozenset()))
+        transforms = TransformRegistry()
+        transforms.register(APP, "1", "2", lambda heap: dict(heap))
+        transforms.register(APP, "2", "9", lambda heap: dict(heap))
+        findings = audit_paths(APP, versions, transforms,
+                               lambda old, new: RuleSet())
+        flagged = by_code(findings, "MVE404")
+        assert len(flagged) == 1
+        assert "'9'" in flagged[0].message
+        assert codes(findings) == {"MVE404"}
+
+    def test_complete_graph_is_clean(self):
+        transforms = TransformRegistry()
+        transforms.register(APP, "1", "2", lambda heap: dict(heap))
+        transforms.register(APP, "2", "3", lambda heap: dict(heap))
+        findings = audit_paths(APP, _three_versions(), transforms,
+                               lambda old, new: RuleSet())
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Catalog + CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogAndCli:
+    def test_default_catalog_has_no_blocking_findings(self):
+        report = run_catalog(default_catalog())
+        assert not report.has_errors
+        assert sorted(report.apps) == ["kvstore", "memcached", "redis",
+                                       "snort", "vsftpd"]
+        # The three §3.3.2-tolerated kvstore deltas are surfaced but
+        # explicitly accepted in the catalog.
+        allowlisted = [f for f in report.findings if f.allowlisted]
+        assert {f.code for f in allowlisted} == {"MVE201"}
+        assert len(allowlisted) == 3
+
+    def test_bad_catalog_trips_every_analyzer(self):
+        report = run_app(bad_catalog()[APP])
+        assert report.has_errors
+        per_analyzer = {f.analyzer: set() for f in report.findings}
+        for finding in report.findings:
+            per_analyzer[finding.analyzer].add(finding.code)
+        assert "MVE102" in per_analyzer["rules"]
+        assert "MVE201" in per_analyzer["coverage"]
+        assert "MVE302" in per_analyzer["transform"]
+        assert "MVE401" in per_analyzer["paths"]
+        assert "MVE403" in per_analyzer["paths"]
+
+    def test_cli_default_catalog_exits_zero(self, capsys):
+        assert lint_main(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["allowlisted"] == 3
+
+    def test_cli_bad_catalog_exits_nonzero(self, capsys):
+        assert lint_main(["--json", "--catalog", FIXTURE_CATALOG]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        found = {f["code"] for f in payload["findings"]}
+        assert {"MVE102", "MVE201", "MVE302", "MVE401",
+                "MVE403"} <= found
+
+    def test_cli_app_filter(self, capsys):
+        assert lint_main(["--json", "--app", "vsftpd"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["apps"] == ["vsftpd"]
+
+    def test_cli_unknown_app_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--app", "nosuch"])
+        assert "unknown app(s): nosuch" in capsys.readouterr().err
+
+    def test_human_output_mentions_summary(self, capsys):
+        assert lint_main(["--app", "snort"]) == 0
+        out = capsys.readouterr().out
+        assert "mvelint: analyzed snort" in out
+        assert "ok: no blocking findings" in out

@@ -1,7 +1,5 @@
 """Unit tests for the benchmark drivers and reporting helpers."""
 
-import pytest
-
 from repro.bench import fig7, table2
 from repro.bench.fig7 import Fig7Row
 from repro.bench.fluid import FluidResult

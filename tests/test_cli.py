@@ -24,6 +24,12 @@ def test_table1_runs(capsys):
     assert "Average rules/update: 0.85" in output
 
 
+def test_lint_dispatches_with_its_own_flags(capsys):
+    assert main(["lint", "--app", "snort"]) == 0
+    output = capsys.readouterr().out
+    assert "mvelint: analyzed snort" in output
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])

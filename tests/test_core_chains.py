@@ -1,7 +1,5 @@
 """Tests for registry-driven chained updates."""
 
-import pytest
-
 from repro.core import Mvedsua
 from repro.core.chains import upgrade_chain
 from repro.mve.dsl import RuleSet

@@ -1,7 +1,5 @@
 """Tests for the operator console and the auto-pilot policy."""
 
-import pytest
-
 from repro.core import AutoPilot, Mvedsua, OperatorConsole, Stage
 from repro.dsu.transform import TransformRegistry
 from repro.net import VirtualKernel

@@ -1,7 +1,5 @@
 """Tests for update post-mortems."""
 
-import pytest
-
 from repro.core import Mvedsua
 from repro.core.report import post_mortems, render_history
 from repro.dsu.transform import TransformRegistry

@@ -6,8 +6,6 @@ to them.  These tests run *both* formulations through the full MVE stack
 and require identical outcomes.
 """
 
-import pytest
-
 from repro.mve import VaranRuntime
 from repro.net import VirtualKernel
 from repro.servers.kvstore import (

@@ -7,7 +7,6 @@ the protocol implementations and an MVE prerequisite — a leader that
 crashed on malformed input would look like an old-version bug.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net import VirtualKernel

@@ -5,10 +5,7 @@ syscall sequence (a flagged command elicits no reply), exercising the
 reply-suppression rule shapes.
 """
 
-import pytest
-
 from repro.core import Mvedsua, Stage
-from repro.mve import VaranRuntime
 from repro.net import VirtualKernel
 from repro.servers.memcached import (
     MemcachedServer,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DslSyntaxError
-from repro.mve.dsl import Direction, RuleEngine, parse_rules
+from repro.mve.dsl import Direction, RuleEngine, parse_rules, parse_rules_ast
 from repro.syscalls.model import Sys, read_record, write_record
 
 
@@ -173,3 +173,74 @@ class TestSyntaxErrors:
     def test_garbage_input(self):
         with pytest.raises(DslSyntaxError):
             parse_rules('rule ???')
+
+    def test_duplicate_rule_names(self):
+        with pytest.raises(DslSyntaxError, match="duplicate rule name 'r'"):
+            parse_rules('rule r: read(fd, s) => read(fd, s)\n'
+                        'rule r: read(fd, s) => read(fd, s)')
+
+    def test_where_clause_missing_literal(self):
+        with pytest.raises(DslSyntaxError, match="expected string literal"):
+            parse_rules('rule r: read(fd, s) where s == t => read(fd, s)')
+
+    def test_where_predicate_missing_comma(self):
+        with pytest.raises(DslSyntaxError, match="expected ','"):
+            parse_rules(
+                'rule r: read(fd, s) where startswith(s "x") => read(fd, s)')
+
+    def test_unknown_syscall_in_emit(self):
+        with pytest.raises(DslSyntaxError, match="unknown syscall 'ioctl'"):
+            parse_rules('rule r: read(fd, s) => ioctl(fd, s)')
+
+    def test_truncated_rule(self):
+        with pytest.raises(DslSyntaxError, match="unexpected end of input"):
+            parse_rules('rule r: read(fd, s) => read(fd,')
+
+    def test_untokenizable_input(self):
+        with pytest.raises(DslSyntaxError, match="cannot tokenize"):
+            parse_rules('rule r: read(fd, s) => read(fd, s) @ nonsense')
+
+
+class TestAst:
+    TEXT = r'''
+    rule stou outdated-leader:
+        read(fd, s), write(fd2, r) where r == "500 Unknown command.\r\n"
+            => read(fd, "FOOBAR\r\n"), write(fd2, r)
+    '''
+
+    def test_structure(self):
+        (ast,) = parse_rules_ast(self.TEXT)
+        assert ast.name == "stou"
+        assert ast.direction is Direction.OUTDATED_LEADER
+        assert [(m.syscall, m.fd_var, m.data_var) for m in ast.matches] == [
+            (Sys.READ, "fd", "s"), (Sys.WRITE, "fd2", "r")]
+        (cond,) = ast.conditions
+        assert (cond.op, cond.var) == ("eq", "r")
+        assert cond.literal == b"500 Unknown command.\r\n"
+        assert [e.syscall for e in ast.emits] == [Sys.READ, Sys.WRITE]
+        assert ast.emits[0].expr.op == "literal"
+        assert ast.emits[1].expr.op == "var"
+
+    def test_conditions_for_and_used_variables(self):
+        (ast,) = parse_rules_ast(self.TEXT)
+        assert ast.conditions_for("r") == ast.conditions
+        assert ast.conditions_for("s") == ()
+        assert ast.used_variables() == frozenset({"r"})
+
+    def test_compiled_rule_carries_ast(self):
+        (ast,) = parse_rules_ast(self.TEXT)
+        (rule,) = parse_rules(self.TEXT)
+        assert rule.ast == ast
+
+    def test_programmatic_rules_have_no_ast(self):
+        from repro.mve.dsl import redirect_read
+        rule = redirect_read("r", lambda d: True, b"x")
+        assert rule.ast is None
+
+    def test_condition_evaluate(self):
+        (ast,) = parse_rules_ast(
+            'rule r: read(fd, s) where startswith(s, "PUT") '
+            '=> read(fd, s)')
+        (cond,) = ast.conditions
+        assert cond.evaluate(b"PUT k v")
+        assert not cond.evaluate(b"GET k")

@@ -11,7 +11,6 @@ These encode the correctness arguments the paper relies on:
   of how those bytes are chunked by the network.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mve import VaranRuntime

@@ -7,7 +7,6 @@ rule keeps an *updated* follower in sync on arbitrary write-heavy
 workloads.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mve import VaranRuntime

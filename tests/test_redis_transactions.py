@@ -1,7 +1,5 @@
 """Tests for Redis MULTI/EXEC and control-state survival across updates."""
 
-import pytest
-
 from repro.core import Mvedsua, Stage
 from repro.net import VirtualKernel
 from repro.servers.native import NativeRuntime

@@ -1,7 +1,5 @@
 """Unit tests for the shared server skeleton (fork, sessions, framing)."""
 
-import pytest
-
 from repro.net import VirtualKernel
 from repro.servers.base import Server, Session
 from repro.servers.kvstore import KVStoreServer, KVStoreV1

@@ -1,7 +1,5 @@
 """Tests for the Memcached analogue: protocol, threading, LibEvent."""
 
-import pytest
-
 from repro.core import Mvedsua, Stage
 from repro.dsu.transform import TransformRegistry
 from repro.libevent import LibEventLoop

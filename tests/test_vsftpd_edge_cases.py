@@ -1,7 +1,5 @@
 """Edge-case coverage for the Vsftpd protocol implementation."""
 
-import pytest
-
 from repro.net import VirtualKernel
 from repro.servers.native import NativeRuntime
 from repro.servers.vsftpd import VsftpdServer, vsftpd_version

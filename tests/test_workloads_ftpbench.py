@@ -5,8 +5,6 @@ RETR loop runs through the real protocol stack, and the virtual-time
 throughput must agree with the calibrated profile.
 """
 
-import pytest
-
 from repro.mve import VaranRuntime
 from repro.net import VirtualKernel
 from repro.servers.native import NativeRuntime
