@@ -10,9 +10,13 @@
     python -m repro all           # everything above, in order
     python -m repro experiments   # emit EXPERIMENTS.md to stdout
     python -m repro lint          # mvelint: static rule/transformer checks
+    python -m repro perf          # wall-clock benchmark of the simulator
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
-``--catalog PATH``); see ``docs/linting.md``.
+``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
+(``--quick``, ``--json``, ``--scenario NAME``, ``--repeat K``); it
+measures how fast the simulator itself runs and writes the
+``BENCH_perf.json`` trajectory file — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -41,13 +45,18 @@ def main(argv=None) -> int:
         # mvelint has its own flags; dispatch before experiment parsing.
         from repro.analysis.cli import lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # the perf harness has its own flags too.
+        from repro.perf.cli import perf_main
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all", "lint"],
+                        choices=sorted(_COMMANDS) + ["all", "lint", "perf"],
                         help="which experiment to run ('lint' runs the "
-                             "mvelint static analyzers)")
+                             "mvelint static analyzers; 'perf' the "
+                             "wall-clock benchmark harness)")
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name in ("table1", "table2", "fig6", "fig7", "faults",

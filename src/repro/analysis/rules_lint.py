@@ -21,6 +21,11 @@ have precise static definitions:
   (use ``ANY_FD`` or the channel sentinels -2/-3).
 * **MVE106 unused-binding** — a DSL rule binds a payload variable it
   never reads (often a symptom of a half-edited rule).
+* **MVE107 hot-dispatch-bucket** — many rules share the same
+  first-pattern dispatch key (syscall name + pinned fd), so the engine's
+  dispatch index cannot discriminate between them and every matching
+  record probes each rule in the bucket in turn; differentiate first
+  positions (or split the rule set per stage) to keep dispatch O(1).
 
 Rules parsed from the textual DSL carry their AST
 (:attr:`RewriteRule.ast`), enabling structural subsumption and overlap
@@ -36,13 +41,18 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.analysis.findings import Finding, Severity
 from repro.dsu.version import ServerVersion
 from repro.mve.dsl.parser import CondAst, RuleAst
-from repro.mve.dsl.rules import ANY_FD, Direction, RewriteRule, RuleSet
+from repro.mve.dsl.rules import (ANY_FD, Direction, RewriteRule, RuleSet,
+                                 dispatch_key)
 from repro.syscalls.model import Sys
 
 ANALYZER = "rules"
 
 #: The two runtime stages a rule may fire in.
 _STAGES = (Direction.OUTDATED_LEADER, Direction.UPDATED_LEADER)
+
+#: MVE107 fires when more than this many same-stage rules land in one
+#: first-pattern dispatch bucket.  Shipped catalogs stay well under it.
+_DISPATCH_BUCKET_LIMIT = 4
 
 
 def _stages_of(rule: RewriteRule) -> FrozenSet[Direction]:
@@ -234,6 +244,41 @@ def lint_rules(ruleset: RuleSet, *, app: str = "", pair: str = "",
                      f"pattern position {index} pins concrete fd "
                      f"{pos.fd}; logical fds are assigned at runtime "
                      f"(use ANY_FD or a channel sentinel)")
+
+    # MVE107: overloaded first-pattern dispatch buckets.  Mirrors
+    # DispatchIndex: a record with a concrete fd probes the exact
+    # (sys, fd) bucket plus the ANY_FD bucket for the same syscall, so
+    # the effective candidate count is exact + wildcard.
+    for stage in _STAGES:
+        exact: Dict[Tuple[Sys, int], List[RewriteRule]] = {}
+        wild: Dict[Sys, List[RewriteRule]] = {}
+        for rule, rule_stages in zip(rules, stages):
+            if stage not in rule_stages:
+                continue
+            name, fd = dispatch_key(rule.pattern[0])
+            if fd == ANY_FD:
+                wild.setdefault(name, []).append(rule)
+            else:
+                exact.setdefault((name, fd), []).append(rule)
+        reported = set()
+        for (name, fd), bucket in sorted(exact.items(),
+                                         key=lambda kv: (kv[0][0].value,
+                                                         kv[0][1])):
+            effective = bucket + wild.get(name, [])
+            if len(effective) > _DISPATCH_BUCKET_LIMIT:
+                reported.add(name)
+                emit("MVE107", Severity.WARNING, effective[0],
+                     f"{len(effective)} {stage.value}-stage rules share "
+                     f"first-pattern dispatch bucket ({name}, fd={fd}); "
+                     f"every such record probes all of them in turn")
+        for name, bucket in sorted(wild.items(), key=lambda kv: kv[0].value):
+            if name in reported:
+                continue
+            if len(bucket) > _DISPATCH_BUCKET_LIMIT:
+                emit("MVE107", Severity.WARNING, bucket[0],
+                     f"{len(bucket)} {stage.value}-stage rules share "
+                     f"first-pattern dispatch bucket ({name}, ANY_FD); "
+                     f"every such record probes all of them in turn")
 
     # MVE106: bound-but-unused payload variables (DSL rules only).
     for rule in rules:

@@ -18,10 +18,12 @@ parsed from the paper-style textual syntax (:mod:`repro.mve.dsl.parser`).
 from repro.mve.dsl.rules import (
     ANY_FD,
     Direction,
+    DispatchIndex,
     RewriteRule,
     RuleEngine,
     RuleSet,
     SyscallPattern,
+    dispatch_key,
     merge_writes,
     redirect_read,
     rewrite_read,
@@ -52,10 +54,12 @@ __all__ = [
     "parse_rules_ast",
     "ANY_FD",
     "Direction",
+    "DispatchIndex",
     "RewriteRule",
     "RuleEngine",
     "RuleSet",
     "SyscallPattern",
+    "dispatch_key",
     "merge_writes",
     "redirect_read",
     "rewrite_read",

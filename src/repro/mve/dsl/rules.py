@@ -11,8 +11,21 @@ identical across versions.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from itertools import islice
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import RuleError
 from repro.syscalls.model import Sys, SyscallRecord
@@ -94,13 +107,70 @@ class RewriteRule:
         """
         return all(p.matches(r) for p, r in zip(self.pattern, records))
 
-    def apply(self, records: List[SyscallRecord]) -> List[SyscallRecord]:
+    def apply(self, records: Sequence[SyscallRecord]) -> List[SyscallRecord]:
         """Run the action over exactly the matched records."""
-        matched = records[: len(self.pattern)]
+        matched = list(islice(records, len(self.pattern)))
         rewritten = self.action(matched)
         if rewritten is None:
             raise RuleError(f"rule {self.name!r} action returned None")
         return rewritten
+
+
+def dispatch_key(pattern: SyscallPattern) -> Tuple[Sys, int]:
+    """The dispatch-index bucket a first-position pattern lands in.
+
+    The engine dispatches on the head record's ``(name, fd)`` only;
+    predicates are evaluated *inside* the bucket.  mvelint imports this
+    so its MVE107 hot-bucket check stays in sync with the engine.
+    """
+    return (pattern.name, pattern.fd)
+
+
+class DispatchIndex:
+    """Rules bucketed by their first pattern's ``(Sys, fd)``.
+
+    A rule can only match — or be *viable* — when its first pattern
+    matches the window's head record, and name/fd mismatches decide
+    that without calling any predicate.  Bucketing rules by the first
+    pattern's name (with pinned-fd sub-buckets) therefore preserves
+    exact priority-order semantics while letting pass-through records —
+    the common case per the paper — skip rule evaluation entirely.
+
+    Immutable once built; shareable across engines (see
+    :meth:`RuleSet.engine_for_stage`).
+    """
+
+    __slots__ = ("rules", "_exact", "_wild", "_cache")
+
+    def __init__(self, rules: Iterable[RewriteRule]) -> None:
+        self.rules: List[RewriteRule] = list(rules)
+        #: (Sys, fd) -> [(priority, rule)] for pinned-fd first patterns.
+        self._exact: Dict[Tuple[Sys, int], List[Tuple[int, RewriteRule]]] = {}
+        #: Sys -> [(priority, rule)] for wildcard-fd first patterns.
+        self._wild: Dict[Sys, List[Tuple[int, RewriteRule]]] = {}
+        #: (Sys, fd) -> merged candidate tuple, filled on first lookup.
+        self._cache: Dict[Tuple[Sys, int], Tuple[RewriteRule, ...]] = {}
+        for priority, rule in enumerate(self.rules):
+            first = rule.pattern[0]
+            if first.fd == ANY_FD:
+                self._wild.setdefault(first.name, []).append((priority, rule))
+            else:
+                self._exact.setdefault((first.name, first.fd), []) \
+                    .append((priority, rule))
+
+    def candidates(self, record: SyscallRecord) -> Tuple[RewriteRule, ...]:
+        """Rules whose first pattern could match ``record``, in priority
+        order.  Everything else provably neither fires nor stays viable."""
+        key = (record.name, record.fd)
+        cached = self._cache.get(key)
+        if cached is None:
+            wild = self._wild.get(record.name, [])
+            exact = ([] if record.fd == ANY_FD
+                     else self._exact.get(key, []))
+            merged = sorted(exact + wild) if exact else wild
+            cached = tuple(rule for _, rule in merged)
+            self._cache[key] = cached
+        return cached
 
 
 @dataclass
@@ -108,14 +178,46 @@ class RuleSet:
     """The rules registered for one update pair, both directions."""
 
     rules: List[RewriteRule] = field(default_factory=list)
+    #: stage -> (rule count at compute time, filtered rules).  Keyed on
+    #: the count so direct ``rules`` appends also invalidate.
+    _stage_cache: Dict[Direction, Tuple[int, List[RewriteRule]]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    #: stage -> (rule count at compute time, shared dispatch index).
+    _index_cache: Dict[Direction, Tuple[int, DispatchIndex]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def add(self, rule: RewriteRule) -> "RuleSet":
         self.rules.append(rule)
+        self._stage_cache.clear()
+        self._index_cache.clear()
         return self
 
     def for_stage(self, stage: Direction) -> List[RewriteRule]:
-        """Rules active in ``stage``, preserving priority order."""
-        return [r for r in self.rules if r.direction.active_in(stage)]
+        """Rules active in ``stage``, preserving priority order.
+
+        Memoized; do not mutate the returned list.
+        """
+        cached = self._stage_cache.get(stage)
+        if cached is not None and cached[0] == len(self.rules):
+            return cached[1]
+        result = [r for r in self.rules if r.direction.active_in(stage)]
+        self._stage_cache[stage] = (len(self.rules), result)
+        return result
+
+    def engine_for_stage(self, stage: Direction) -> "RuleEngine":
+        """A fresh engine for ``stage`` backed by a cached dispatch index.
+
+        The index build is O(rules); replaying one iteration is not —
+        so the runtime asks for a new engine per iteration and this
+        method amortises the index across all of them.
+        """
+        cached = self._index_cache.get(stage)
+        if cached is not None and cached[0] == len(self.rules):
+            index = cached[1]
+        else:
+            index = DispatchIndex(self.for_stage(stage))
+            self._index_cache[stage] = (len(self.rules), index)
+        return RuleEngine(index)
 
     def count(self, stage: Direction = Direction.OUTDATED_LEADER) -> int:
         """Rule count for reporting (Table 1 counts outdated-leader rules)."""
@@ -129,14 +231,22 @@ class RuleEngine:
     """Lazily rewrites a leader record stream into follower expectations.
 
     Fed raw leader records via :meth:`offer`; emits transformed records
-    via :meth:`next_expected`.  Maintains a window of records that might
-    still complete a multi-record pattern.
+    via :meth:`next_expected` (or in bulk via :meth:`take_ready`).
+    Maintains a window of records that might still complete a
+    multi-record pattern.  Dispatch is indexed: only rules whose first
+    pattern is compatible with the window's head record are consulted,
+    so records no rule targets pass straight through.
     """
 
-    def __init__(self, rules: Iterable[RewriteRule]) -> None:
-        self.rules = list(rules)
-        self._window: List[SyscallRecord] = []
-        self._ready: List[SyscallRecord] = []
+    def __init__(self,
+                 rules: Union[DispatchIndex, Iterable[RewriteRule]]) -> None:
+        if isinstance(rules, DispatchIndex):
+            self._index = rules
+        else:
+            self._index = DispatchIndex(rules)
+        self.rules = self._index.rules
+        self._window: Deque[SyscallRecord] = deque()
+        self._ready: Deque[SyscallRecord] = deque()
         self.fired: List[str] = []
 
     def offer(self, record: SyscallRecord) -> None:
@@ -151,30 +261,49 @@ class RuleEngine:
     def next_expected(self) -> Optional[SyscallRecord]:
         """Pop the next follower-expected record, if one is ready."""
         if self._ready:
-            return self._ready.pop(0)
+            return self._ready.popleft()
         return None
 
     def has_ready(self) -> bool:
         """True when :meth:`next_expected` would return a record."""
         return bool(self._ready)
 
+    def take_ready(self) -> List[SyscallRecord]:
+        """Drain every ready record at once (the bulk-replay fast path)."""
+        out = list(self._ready)
+        self._ready.clear()
+        return out
+
     def pending_window(self) -> int:
         """Records held back awaiting a possible multi-record match."""
         return len(self._window)
 
     def _reduce(self, flush: bool) -> None:
-        while self._window:
+        window = self._window
+        ready = self._ready
+        candidates_for = self._index.candidates
+        while window:
+            candidates = candidates_for(window[0])
+            if not candidates:
+                # No rule targets this record: pass it through.
+                ready.append(window.popleft())
+                continue
             fired = False
             any_viable = False
-            for rule in self.rules:
-                if rule.matches_prefix(self._window):
+            window_len = len(window)
+            for rule in candidates:
+                if rule.matches_prefix(window):
                     consumed = len(rule.pattern)
-                    self._ready.extend(rule.apply(self._window))
-                    del self._window[:consumed]
+                    ready.extend(rule.apply(window))
+                    for _ in range(consumed):
+                        window.popleft()
                     self.fired.append(rule.name)
                     fired = True
                     break
-                if rule.viable(self._window):
+                # With window >= pattern, viable() would just repeat the
+                # failed matches_prefix(); only shorter windows can grow
+                # into a match.
+                if window_len < len(rule.pattern) and rule.viable(window):
                     any_viable = True
             if fired:
                 continue
@@ -182,7 +311,7 @@ class RuleEngine:
                 # A longer pattern might still match; wait for more input.
                 return
             # Nothing can use the head record: pass it through.
-            self._ready.append(self._window.pop(0))
+            ready.append(window.popleft())
 
 
 # ---------------------------------------------------------------------------

@@ -327,7 +327,7 @@ class SyscallGateway:
                 check_match(expected, actual)
             self._emit(expected)
             return list(expected.result)
-        result = tuple(self.kernel.fs.listdir(path))
+        entries = self.kernel.fs.listdir(path)
         self._emit(SyscallRecord(Sys.STAT, data=(path + "/").encode(),
-                                 result=result))
-        return list(result)
+                                 result=tuple(entries)))
+        return entries

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional, Tuple
 
 from repro.errors import DivergenceError, ServerCrash, SimulationError
-from repro.mve.dsl.rules import Direction, RuleEngine, RuleSet
+from repro.mve.dsl.rules import Direction, RuleSet
 from repro.mve.gateway import GatewayRole, SyscallGateway
 from repro.mve.varan import ManagedProcess, RuntimeEvent
 from repro.net.kernel import VirtualKernel
@@ -146,7 +146,9 @@ class NVersionRuntime:
         space — the N-version generalisation of ring back-pressure.
         """
         t = at
-        records = list(trace.records)
+        # The gateway's trace list is abandoned at begin_iteration(), so
+        # sharing it across follower queues is safe — no defensive copy.
+        records = trace.records
         for follower in self.alive_followers():
             while (follower.pending_records + len(records)
                    > self.queue_capacity):
@@ -177,8 +179,8 @@ class NVersionRuntime:
         expected = self._rewrite(follower, records)
         process = follower.process
         gateway = process.gateway
-        queue = deque(expected)
-        gateway.expected_source = lambda: queue.popleft() if queue else None
+        stream = iter(expected)
+        gateway.expected_source = lambda: next(stream, None)
         gateway.begin_iteration()
         try:
             process.server.run_iteration(gateway)
@@ -201,17 +203,11 @@ class NVersionRuntime:
 
     def _rewrite(self, follower: _FollowerState,
                  records: List[SyscallRecord]) -> List[SyscallRecord]:
-        engine = RuleEngine(
-            follower.rules.for_stage(Direction.OUTDATED_LEADER))
-        out: List[SyscallRecord] = []
+        engine = follower.rules.engine_for_stage(Direction.OUTDATED_LEADER)
         for record in records:
             engine.offer(record)
-            while engine.has_ready():
-                out.append(engine.next_expected())
         engine.flush()
-        while engine.has_ready():
-            out.append(engine.next_expected())
-        return out
+        return engine.take_ready()
 
     def _terminate(self, follower: _FollowerState, at: int) -> None:
         follower.alive = False

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Union
+from typing import Deque, List, Optional, Sequence, Union
 
 from repro.errors import SimulationError
 from repro.mve.events import ControlEvent
@@ -68,6 +68,10 @@ class RingBuffer:
         """True when a push would block the leader."""
         return len(self._entries) >= self.capacity
 
+    def free_slots(self) -> int:
+        """Slots a batch push could fill right now."""
+        return self.capacity - len(self._entries)
+
     def is_empty(self) -> bool:
         """True when the follower has fully caught up."""
         return not self._entries
@@ -82,6 +86,26 @@ class RingBuffer:
         self.high_watermark = max(self.high_watermark, len(self._entries))
         return entry
 
+    def push_many(self, payloads: Sequence[Payload],
+                  produced_at: int) -> List[RingEntry]:
+        """Append a batch atomically, all stamped with ``produced_at``.
+
+        Raises :class:`BufferFull` — pushing *nothing* — when the batch
+        does not fit; the caller chunks to :meth:`free_slots` and
+        interleaves follower replay, exactly like single-entry
+        back-pressure but one call per burst instead of per record.
+        """
+        if len(payloads) > self.capacity - len(self._entries):
+            raise BufferFull(self.capacity)
+        sequence = self._produced
+        entries = [RingEntry(payload, produced_at, sequence + offset)
+                   for offset, payload in enumerate(payloads)]
+        self._entries.extend(entries)
+        self._produced = sequence + len(entries)
+        if len(self._entries) > self.high_watermark:
+            self.high_watermark = len(self._entries)
+        return entries
+
     def peek(self, index: int = 0) -> Optional[RingEntry]:
         """Look at the ``index``-th unconsumed entry without removing it."""
         if index < len(self._entries):
@@ -94,6 +118,16 @@ class RingBuffer:
             raise SimulationError("pop from empty ring buffer")
         self._consumed += 1
         return self._entries.popleft()
+
+    def pop_many(self, count: int) -> List[RingEntry]:
+        """Consume the ``count`` oldest entries in one call."""
+        if count > len(self._entries):
+            raise SimulationError(
+                f"pop_many({count}) from ring buffer holding "
+                f"{len(self._entries)} entries")
+        self._consumed += count
+        popleft = self._entries.popleft
+        return [popleft() for _ in range(count)]
 
     def clear(self) -> None:
         """Drop all entries (used when a follower is terminated)."""

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, List, Optional, Tuple
 
 from repro.errors import DivergenceError, ServerCrash, SimulationError
-from repro.mve.dsl.rules import Direction, RuleEngine, RuleSet
+from repro.mve.dsl.rules import Direction, RuleSet
 from repro.mve.events import ControlEvent, ControlKind
 from repro.mve.gateway import GatewayRole, IterationTrace, SyscallGateway
 from repro.mve.ring_buffer import BufferFull, RingBuffer
@@ -114,6 +114,8 @@ class VaranRuntime:
         #: (completion_time, requests_handled) per leader iteration; the
         #: workload layer samples this for latency measurements.
         self.completions: List[Tuple[int, int]] = []
+        #: Cumulative syscall records the leader emitted (perf telemetry).
+        self.total_syscalls = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -175,6 +177,7 @@ class VaranRuntime:
         except ServerCrash as exc:
             crash = exc
         trace = gateway.trace
+        self.total_syscalls += len(trace.records)
         cost = self.iteration_cost(trace, self.leader_mode())
         completion = leader.cpu.charge(start, cost)
         if crash is not None:
@@ -187,15 +190,36 @@ class VaranRuntime:
         return completion
 
     def _publish_iteration(self, trace: IterationTrace, at: int) -> int:
-        """Push an iteration's records onto the ring buffer."""
+        """Push an iteration's records onto the ring buffer.
+
+        Batched: each burst pushes as many records as the ring has free
+        slots, then (if records remain) replays one follower iteration
+        to free space.  Virtual-time semantics match the per-record
+        formulation exactly — a burst's records all carry the produce
+        time the per-record loop would have stamped them with, and
+        back-pressure still advances ``t`` to the replay completion.
+        """
         t = at
-        for record in trace.records:
+        records = trace.records
+        pushed, total = 0, len(records)
+        while pushed < total:
             if self.follower is None:
                 return t  # follower died while we were blocked
-            t = self._push_with_backpressure(record, t)
+            free = self.ring.free_slots()
+            if free == 0:
+                freed_at = self._replay_one()
+                if freed_at is None:
+                    raise SimulationError(
+                        "ring buffer cannot hold one leader iteration "
+                        f"(capacity {self.ring.capacity})")
+                t = max(t, freed_at)
+                continue
+            take = min(free, total - pushed)
+            self.ring.push_many(records[pushed:pushed + take], t)
+            pushed += take
         if self.follower is not None:
             self._iterations.append(IterationDescriptor(
-                n_records=len(trace.records),
+                n_records=total,
                 requests=trace.requests_handled))
         return t
 
@@ -275,14 +299,14 @@ class VaranRuntime:
                 self._swap_roles(swap_at)
             return swap_at
 
-        entries = [self.ring.pop() for _ in range(descriptor.n_records)]
+        entries = self.ring.pop_many(descriptor.n_records)
         ready_at = max((entry.produced_at for entry in entries), default=0)
         expected = self._rewrite(entry.payload for entry in entries)
 
         follower = self.follower
         gateway = follower.gateway
-        queue = deque(expected)
-        gateway.expected_source = lambda: queue.popleft() if queue else None
+        stream = iter(expected)
+        gateway.expected_source = lambda: next(stream, None)
         gateway.begin_iteration()
         try:
             follower.server.run_iteration(gateway)
@@ -305,17 +329,12 @@ class VaranRuntime:
 
     def _rewrite(self, payloads) -> List[SyscallRecord]:
         """Run one iteration's leader records through the stage rules."""
-        engine = RuleEngine(self.rules.for_stage(self.stage_direction))
-        out: List[SyscallRecord] = []
+        engine = self.rules.engine_for_stage(self.stage_direction)
         for payload in payloads:
             engine.offer(payload)
-            while engine.has_ready():
-                out.append(engine.next_expected())
         engine.flush()
-        while engine.has_ready():
-            out.append(engine.next_expected())
         self.rules_fired.extend(engine.fired)
-        return out
+        return engine.take_ready()
 
     # ------------------------------------------------------------------
     # Promotion, termination, failure policy

@@ -1,0 +1,58 @@
+"""The ``python -m repro perf`` entry point.
+
+    python -m repro perf                  # run every scenario, print table
+    python -m repro perf --quick          # 1/5th the ops (CI smoke)
+    python -m repro perf --json           # also write BENCH_perf.json
+    python -m repro perf --scenario NAME  # subset (repeatable)
+    python -m repro perf --repeat 3       # best-of-3 per scenario
+
+The BENCH_perf.json schema and the scenario catalogue are documented in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterable, Optional
+
+from repro.bench.reporting import format_table
+from repro.perf.harness import run_scenarios, write_bench_json
+from repro.perf.scenarios import SCENARIOS
+
+
+def perf_main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="Wall-clock benchmark of the MVE simulator hot paths.")
+    parser.add_argument("--quick", action="store_true",
+                        help="run 1/5th of each scenario's default ops")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_perf.json next to the cwd")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                        help="where --json writes (default: %(default)s)")
+    parser.add_argument("--scenario", action="append", metavar="NAME",
+                        choices=sorted(SCENARIOS),
+                        help="run only NAME (repeatable); choices: "
+                             + ", ".join(sorted(SCENARIOS)))
+    parser.add_argument("--ops", type=int, metavar="N",
+                        help="override every scenario's operation count")
+    parser.add_argument("--repeat", type=int, default=1, metavar="K",
+                        help="run each scenario K times, keep the fastest")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    results = run_scenarios(args.scenario, quick=args.quick, ops=args.ops,
+                            repeat=args.repeat)
+    print("repro perf: virtual requests simulated per wall-clock second")
+    print(format_table(
+        ["scenario", "ops", "wall s", "vreq/s", "syscalls/s"],
+        [[r.name, r.ops, f"{r.wall_s:.3f}", f"{r.vreq_per_s:,.0f}",
+          f"{r.syscalls_per_s:,.0f}"] for r in results]))
+    if args.json:
+        write_bench_json(results, args.out, quick=args.quick)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(perf_main())

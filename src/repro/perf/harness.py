@@ -1,0 +1,104 @@
+"""Timing harness and BENCH_perf.json writer for ``repro perf``.
+
+Wall-clock numbers are machine-dependent; the value of this file is the
+*trajectory*: the same scenarios, run on the same machine across PRs,
+must not regress.  ``BENCH_perf.json`` maps each scenario name to
+``{wall_s, vreq_per_s, syscalls_per_s}`` (plus a ``_meta`` entry that
+records how the run was parameterized).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.perf.scenarios import SCENARIOS, Scenario
+
+#: BENCH_perf.json schema identifier (bump on shape changes).
+SCHEMA = "repro-perf/1"
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measured outcome."""
+
+    name: str
+    description: str
+    ops: int
+    wall_s: float
+    vrequests: int
+    syscalls: int
+
+    @property
+    def vreq_per_s(self) -> float:
+        return self.vrequests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def syscalls_per_s(self) -> float:
+        return self.syscalls / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def run_scenario(scenario: Scenario, ops: int, *,
+                 repeat: int = 1) -> BenchResult:
+    """Build and time one scenario; with ``repeat`` > 1, keep the
+    fastest run (each repeat rebuilds the scenario from scratch)."""
+    best: Optional[BenchResult] = None
+    for _ in range(max(1, repeat)):
+        thunk = scenario.build(ops)
+        start = time.perf_counter()
+        vrequests, syscalls = thunk()
+        wall = time.perf_counter() - start
+        result = BenchResult(scenario.name, scenario.description, ops,
+                             wall, vrequests, syscalls)
+        if best is None or result.wall_s < best.wall_s:
+            best = result
+    return best
+
+
+def run_scenarios(names: Optional[Iterable[str]] = None, *,
+                  quick: bool = False, ops: Optional[int] = None,
+                  repeat: int = 1) -> List[BenchResult]:
+    """Run the named scenarios (default: all, in registry order)."""
+    selected = list(names) if names else list(SCENARIOS)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown scenario(s): {', '.join(unknown)} "
+                       f"(have: {', '.join(SCENARIOS)})")
+    results = []
+    for name in selected:
+        scenario = SCENARIOS[name]
+        n = ops if ops is not None else scenario.default_ops
+        if quick and ops is None:
+            n = max(1, n // 5)
+        results.append(run_scenario(scenario, n, repeat=repeat))
+    return results
+
+
+def to_bench_dict(results: List[BenchResult], *, quick: bool = False) -> Dict:
+    """The BENCH_perf.json payload: scenario -> metrics, plus ``_meta``."""
+    payload: Dict[str, Dict] = {}
+    for result in results:
+        payload[result.name] = {
+            "wall_s": round(result.wall_s, 6),
+            "vreq_per_s": round(result.vreq_per_s, 1),
+            "syscalls_per_s": round(result.syscalls_per_s, 1),
+        }
+    payload["_meta"] = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "ops": {r.name: r.ops for r in results},
+        "python": platform.python_version(),
+    }
+    return payload
+
+
+def write_bench_json(results: List[BenchResult], path: str, *,
+                     quick: bool = False) -> None:
+    """Write BENCH_perf.json (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_bench_dict(results, quick=quick), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,310 @@
+"""The benchmark scenarios ``python -m repro perf`` runs.
+
+Each scenario separates *setup* (building kernels, servers, rule sets —
+untimed) from the *measured thunk* (the request or record loop — timed
+by the harness).  Thunks return ``(virtual_requests, syscalls)`` so the
+harness can normalise wall time into virtual-requests-per-second and
+syscalls-per-second.
+
+Scenario catalogue:
+
+* ``single-leader`` — Redis steady state, no follower: the paper's
+  common case, where interposition must be nearly free.
+* ``mve-follower`` — plain Varan leader + identical follower: the full
+  publish/replay path with no rewrite rules.
+* ``rule-heavy-mve-redis`` — a Redis 2.0.0 -> 2.0.1 update held in
+  outdated-leader mode with a large rule catalogue registered; every
+  leader record crosses the rule engine on its way to the follower.
+* ``rules-redis-stream`` / ``rules-vsftpd-stream`` — the rule engine in
+  isolation over synthetic leader streams, with heavy catalogues.
+* ``fig7-ring-2^N`` — leader + follower under a small/medium/large ring,
+  interleaving publish and back-pressure replay like Figure 7 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import Mvedsua
+from repro.mve import VaranRuntime
+from repro.mve.dsl.rules import (
+    Direction,
+    RewriteRule,
+    RuleEngine,
+    RuleSet,
+    SyscallPattern,
+)
+from repro.net import VirtualKernel
+from repro.servers.kvstore import KVStoreServer, KVStoreV1
+from repro.servers.redis import (
+    RedisServer,
+    redis_rules,
+    redis_transforms,
+    redis_version,
+)
+from repro.servers.vsftpd import vsftpd_rules
+from repro.servers.vsftpd.rules import TABLE1_RULE_COUNTS
+from repro.syscalls.costs import PROFILES
+from repro.syscalls.model import Sys, SyscallRecord, read_record, write_record
+from repro.workloads import VirtualClient
+from repro.workloads.memtier import MemtierSpec
+
+#: A measured thunk: run the workload, return (virtual_requests, syscalls).
+Thunk = Callable[[], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark configuration."""
+
+    name: str
+    description: str
+    #: ops -> thunk; setup happens inside build, the thunk is timed.
+    build: Callable[[int], Thunk]
+    #: Default operation count (``--quick`` divides by 5).
+    default_ops: int = 2000
+
+
+# ---------------------------------------------------------------------------
+# Rule-catalogue builders
+# ---------------------------------------------------------------------------
+
+#: Syscalls a realistic filesystem/session rule catalogue spreads over.
+_CATALOG_SYSCALLS = (Sys.OPEN, Sys.UNLINK, Sys.RENAME, Sys.STAT, Sys.MKDIR,
+                     Sys.RMDIR, Sys.CONNECT, Sys.LISTEN, Sys.ACCEPT,
+                     Sys.CLOSE, Sys.READ, Sys.WRITE)
+
+
+def _identity_action(matched: List[SyscallRecord]) -> List[SyscallRecord]:
+    return list(matched)
+
+
+def rule_heavy_catalog(n_rules: int = 120, *,
+                       base: Optional[RuleSet] = None) -> RuleSet:
+    """A large rule catalogue in the shape real deployments accumulate.
+
+    Starts from ``base`` (e.g. the genuine Redis 2.0.0 -> 2.0.1 rules)
+    and pads with guarded single-record rules spread across the syscall
+    vocabulary — banner rewrites, path renames, session tweaks — whose
+    predicates never fire for the benchmark stream.  This mirrors the
+    paper's observation that the overwhelming majority of records match
+    no rule: the engine's job is to get out of the way.
+    """
+    rules = RuleSet()
+    if base is not None:
+        for rule in base.rules:
+            rules.add(rule)
+    for index in range(n_rules):
+        sysname = _CATALOG_SYSCALLS[index % len(_CATALOG_SYSCALLS)]
+        token = f"#pad-{sysname.value}-{index}".encode()
+        rules.add(RewriteRule(
+            f"pad_{sysname.value}_{index}",
+            [SyscallPattern(sysname,
+                            predicate=lambda d, t=token: d.startswith(t))],
+            _identity_action,
+            direction=Direction.BOTH))
+    return rules
+
+
+def full_vsftpd_catalog() -> RuleSet:
+    """Every shipped Vsftpd rule (all Table 1 update pairs), in one set."""
+    rules = RuleSet()
+    for old, new, count in TABLE1_RULE_COUNTS:
+        if count == 0:
+            continue
+        for rule in vsftpd_rules(old, new).rules:
+            # Rule names must stay unique across pairs.
+            rules.add(RewriteRule(f"{old}-{new}/{rule.name}", rule.pattern,
+                                  rule.action, rule.direction, rule.ast))
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Semantic-stack scenarios
+# ---------------------------------------------------------------------------
+
+def _redis_runtime() -> Tuple[VirtualKernel, VaranRuntime, VirtualClient]:
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                           ring_capacity=1 << 14)
+    client = VirtualClient(kernel, server.address)
+    return kernel, runtime, client
+
+
+def _command_loop(runtime, client, commands) -> Thunk:
+    def thunk() -> Tuple[int, int]:
+        now = 0
+        handled = 0
+        for command in commands:
+            _, now = client.request(runtime, command, now + 1)
+            handled += 1
+        return handled, _total_syscalls(runtime)
+    return thunk
+
+
+def _total_syscalls(runtime) -> int:
+    inner = getattr(runtime, "runtime", runtime)  # Mvedsua wraps VaranRuntime
+    return inner.total_syscalls
+
+
+def build_single_leader(ops: int) -> Thunk:
+    _, runtime, client = _redis_runtime()
+    commands = list(MemtierSpec().commands(ops, protocol="redis", seed=11))
+    return _command_loop(runtime, client, commands)
+
+
+def build_mve_follower(ops: int) -> Thunk:
+    _, runtime, client = _redis_runtime()
+    runtime.fork_follower(0)
+    commands = list(MemtierSpec().commands(ops, protocol="redis", seed=12))
+    loop = _command_loop(runtime, client, commands)
+
+    def thunk() -> Tuple[int, int]:
+        handled, syscalls = loop()
+        runtime.drain_follower()
+        return handled, syscalls
+    return thunk
+
+
+def build_rule_heavy_mve_redis(ops: int) -> Thunk:
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                      transforms=redis_transforms(),
+                      ring_capacity=1 << 14)
+    client = VirtualClient(kernel, server.address)
+    catalog = rule_heavy_catalog(base=redis_rules("2.0.0", "2.0.1"))
+    attempt = mvedsua.request_update(
+        redis_version("2.0.1", hmget_bug=False), 10**9, rules=catalog)
+    if not attempt.ok:  # pragma: no cover - setup invariant
+        raise RuntimeError(f"update failed: {attempt.reason}")
+    commands = list(MemtierSpec().commands(ops, protocol="redis", seed=13))
+    return _command_loop(mvedsua, client, commands)
+
+
+def build_ring_sweep(capacity: int) -> Callable[[int], Thunk]:
+    def build(ops: int) -> Thunk:
+        kernel = VirtualKernel()
+        server = KVStoreServer(KVStoreV1())
+        server.attach(kernel)
+        runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                               ring_capacity=capacity)
+        client = VirtualClient(kernel, server.address)
+        runtime.fork_follower(0)
+        commands = [b"PUT k%d v%d\r\n" % (i % 512, i) for i in range(ops)]
+
+        def thunk() -> Tuple[int, int]:
+            now = 0
+            for command in commands:
+                _, now = client.request(runtime, command, now + 1)
+            runtime.drain_follower()
+            return len(commands), runtime.total_syscalls
+        return thunk
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Stream scenarios: the rule engine in isolation
+# ---------------------------------------------------------------------------
+
+def _redis_stream(n_records: int) -> List[SyscallRecord]:
+    """A leader stream shaped like Redis under Memtier: mostly GET reads
+    and replies, a 10% SET tail with AOF writes."""
+    records: List[SyscallRecord] = []
+    index = 0
+    while len(records) < n_records:
+        fd = 4 + (index % 7)
+        records.append(SyscallRecord(Sys.EPOLL_WAIT, fd=3, result=(fd,)))
+        if index % 10 == 3:
+            records.append(read_record(fd, b"SET memtier-%d vvvv\r\n" % index))
+            records.append(write_record(fd, b"+OK\r\n"))
+            records.append(write_record(-3, b"AOF SET memtier-%d\r\n" % index))
+        else:
+            records.append(read_record(fd, b"GET memtier-%d\r\n" % index))
+            records.append(write_record(fd, b"$4\r\nvvvv\r\n"))
+        index += 1
+    return records[:n_records]
+
+
+def _vsftpd_stream(n_records: int) -> List[SyscallRecord]:
+    """A control-channel stream shaped like the paper's FtpBench: RETR
+    loops with 150/226 replies and file opens."""
+    records: List[SyscallRecord] = []
+    index = 0
+    while len(records) < n_records:
+        fd = 5 + (index % 3)
+        records.append(read_record(fd, b"RETR bench.bin\r\n"))
+        records.append(write_record(fd, b"150 Opening BINARY mode data "
+                                        b"connection.\r\n"))
+        records.append(SyscallRecord(Sys.OPEN, data=b"/srv/bench.bin",
+                                     result=0))
+        records.append(read_record(-2, b"x" * 5))
+        records.append(write_record(fd, b"226 Transfer complete.\r\n"))
+        index += 1
+    return records[:n_records]
+
+
+def _engine_stream_thunk(rules: List[RewriteRule],
+                         records: List[SyscallRecord]) -> Thunk:
+    def thunk() -> Tuple[int, int]:
+        engine = RuleEngine(rules)
+        out = 0
+        for record in records:
+            engine.offer(record)
+            while engine.has_ready():
+                engine.next_expected()
+                out += 1
+        engine.flush()
+        while engine.has_ready():
+            engine.next_expected()
+            out += 1
+        return len(records), out
+    return thunk
+
+
+def build_rules_redis_stream(ops: int) -> Thunk:
+    catalog = rule_heavy_catalog(base=redis_rules("2.0.0", "2.0.1"))
+    rules = catalog.for_stage(Direction.OUTDATED_LEADER)
+    return _engine_stream_thunk(rules, _redis_stream(ops))
+
+
+def build_rules_vsftpd_stream(ops: int) -> Thunk:
+    catalog = rule_heavy_catalog(base=full_vsftpd_catalog())
+    rules = catalog.for_stage(Direction.OUTDATED_LEADER)
+    return _engine_stream_thunk(rules, _vsftpd_stream(ops))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
+    Scenario("single-leader",
+             "Redis steady state, no follower (interception only)",
+             build_single_leader, default_ops=2000),
+    Scenario("mve-follower",
+             "Varan leader + identical follower, no rules",
+             build_mve_follower, default_ops=1500),
+    Scenario("rule-heavy-mve-redis",
+             "Redis 2.0.0->2.0.1 outdated-leader stage, 120-rule catalogue",
+             build_rule_heavy_mve_redis, default_ops=1500),
+    Scenario("rules-redis-stream",
+             "rule engine alone over a Memtier-shaped record stream",
+             build_rules_redis_stream, default_ops=30000),
+    Scenario("rules-vsftpd-stream",
+             "rule engine alone over an FtpBench-shaped record stream",
+             build_rules_vsftpd_stream, default_ops=30000),
+    Scenario("fig7-ring-2^5",
+             "leader+follower through a 32-entry ring (heavy back-pressure)",
+             build_ring_sweep(1 << 5), default_ops=1500),
+    Scenario("fig7-ring-2^8",
+             "leader+follower through a 256-entry ring",
+             build_ring_sweep(1 << 8), default_ops=1500),
+    Scenario("fig7-ring-2^11",
+             "leader+follower through a 2048-entry ring",
+             build_ring_sweep(1 << 11), default_ops=1500),
+)}

@@ -15,7 +15,9 @@ to stable logical ids before recording.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field, replace
+from types import MappingProxyType
 from typing import Any, Iterable, Mapping, Optional, Tuple
 
 
@@ -53,7 +55,17 @@ DATA_BEARING = frozenset({Sys.READ, Sys.WRITE, Sys.OPEN, Sys.UNLINK,
 UNTRACKED = frozenset({Sys.GETTIMEOFDAY})
 
 
-@dataclass(frozen=True)
+#: Shared immutable empty ``aux``: most records carry none, so the
+#: per-record dict allocation is pure overhead on the hot path.
+EMPTY_AUX: Mapping[str, Any] = MappingProxyType({})
+
+#: ``slots=True`` (3.10+) drops the per-record ``__dict__``; records are
+#: the most-allocated object in the simulator, so this is a measurable
+#: memory and speed win.  On 3.9 the plain layout is used.
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(frozen=True, **_SLOTTED)
 class SyscallRecord:
     """One intercepted system call.
 
@@ -69,12 +81,22 @@ class SyscallRecord:
     fd: int = -1
     data: bytes = b""
     result: Any = None
-    aux: Mapping[str, Any] = field(default_factory=dict)
+    # dataclasses reject a mappingproxy *default* as mutable on some
+    # versions; the factory still hands out the one shared instance.
+    aux: Mapping[str, Any] = field(default_factory=lambda: EMPTY_AUX)
+    #: Cached :meth:`key` — every divergence check calls it, often more
+    #: than once per record.  Excluded from init/repr/eq.
+    _key: Optional[Tuple[Sys, int, bytes]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def key(self) -> Tuple[Sys, int, bytes]:
-        """The comparison key used for divergence detection."""
-        payload = self.data if self.name in DATA_BEARING else b""
-        return (self.name, self.fd, payload)
+        """The comparison key used for divergence detection (cached)."""
+        cached = self._key
+        if cached is None:
+            payload = self.data if self.name in DATA_BEARING else b""
+            cached = (self.name, self.fd, payload)
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def matches(self, other: "SyscallRecord") -> bool:
         """True when MVE would consider the two records equivalent."""

@@ -122,6 +122,39 @@ class TestRulesLint:
         assert flagged[0].severity is Severity.INFO
         assert "'s'" in flagged[0].message
 
+    def test_hot_dispatch_bucket_is_warning(self):
+        # Six same-stage rules all keyed (WRITE, ANY_FD): the dispatch
+        # index cannot tell them apart, so every WRITE probes all six.
+        rules = RuleSet()
+        for i in range(6):
+            rules.add(rewrite_write(f"w{i}", lambda d, i=i:
+                                    d.startswith(b"%d" % i), lambda d: d))
+        findings = lint_rules(rules)
+        flagged = by_code(findings, "MVE107")
+        assert len(flagged) == 1  # one finding per bucket, not per rule
+        assert flagged[0].severity is Severity.WARNING
+        assert "6" in flagged[0].message
+        assert "ANY_FD" in flagged[0].message
+
+    def test_dispatch_buckets_are_per_stage(self):
+        # The same six rules split across the two stages: no stage's
+        # engine ever sees more than three candidates, so no finding.
+        rules = RuleSet()
+        for i in range(6):
+            direction = (Direction.OUTDATED_LEADER if i % 2
+                         else Direction.UPDATED_LEADER)
+            rules.add(rewrite_write(f"w{i}", lambda d, i=i:
+                                    d.startswith(b"%d" % i), lambda d: d,
+                                    direction=direction))
+        assert "MVE107" not in codes(lint_rules(rules))
+
+    def test_small_buckets_stay_quiet(self):
+        rules = RuleSet()
+        for i in range(4):  # at the limit, not over it
+            rules.add(rewrite_write(f"w{i}", lambda d, i=i:
+                                    d.startswith(b"%d" % i), lambda d: d))
+        assert "MVE107" not in codes(lint_rules(rules))
+
     def test_shipped_kvstore_rules_are_clean(self):
         from repro.servers.kvstore.rules import kv_rules_from_dsl
         from repro.servers.kvstore.versions import kvstore_registry

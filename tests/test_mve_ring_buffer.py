@@ -121,3 +121,96 @@ def test_fifo_invariant_under_random_ops(ops, capacity):
     assert popped == pushed[:len(popped)]
     assert ring.produced_total == len(pushed)
     assert ring.consumed_total == len(popped)
+
+
+# ---------------------------------------------------------------------------
+# Batched push/pop (hot-path API used by the MVE runtime)
+# ---------------------------------------------------------------------------
+
+
+def test_push_many_preserves_fifo_and_sequences():
+    ring = RingBuffer(capacity=8)
+    ring.push(rec(0), 0)
+    entries = ring.push_many([rec(1), rec(2), rec(3)], produced_at=7)
+    assert [e.sequence for e in entries] == [1, 2, 3]
+    assert all(e.produced_at == 7 for e in entries)
+    out = [ring.pop() for _ in range(4)]
+    assert [e.payload.data for e in out] == [rec(i).data for i in range(4)]
+    assert ring.produced_total == 4
+    assert ring.high_watermark == 4
+
+
+def test_push_many_is_atomic_when_batch_does_not_fit():
+    ring = RingBuffer(capacity=4)
+    ring.push(rec(0), 0)
+    ring.push(rec(1), 0)
+    with pytest.raises(BufferFull):
+        ring.push_many([rec(2), rec(3), rec(4)], produced_at=0)
+    # Nothing was pushed: the batch either fits entirely or not at all.
+    assert len(ring) == 2
+    assert ring.produced_total == 2
+    ring.push_many([rec(2), rec(3)], produced_at=0)
+    assert len(ring) == 4
+
+
+def test_push_many_empty_batch_is_a_noop():
+    ring = RingBuffer(capacity=1)
+    ring.push(rec(0), 0)
+    assert ring.push_many([], produced_at=0) == []
+    assert ring.produced_total == 1
+
+
+def test_free_slots_tracks_occupancy():
+    ring = RingBuffer(capacity=3)
+    assert ring.free_slots() == 3
+    ring.push(rec(0), 0)
+    ring.push(rec(1), 0)
+    assert ring.free_slots() == 1
+    ring.pop()
+    assert ring.free_slots() == 2
+
+
+def test_pop_many_returns_oldest_in_order():
+    ring = RingBuffer(capacity=8)
+    for i in range(5):
+        ring.push(rec(i), i)
+    out = ring.pop_many(3)
+    assert [e.produced_at for e in out] == [0, 1, 2]
+    assert ring.consumed_total == 3
+    assert len(ring) == 2
+
+
+def test_pop_many_more_than_held_raises_with_counts():
+    ring = RingBuffer(capacity=8)
+    ring.push(rec(0), 0)
+    with pytest.raises(SimulationError, match=r"pop_many\(3\).*holding 1"):
+        ring.pop_many(3)
+    assert len(ring) == 1  # nothing consumed on failure
+
+
+@given(st.lists(st.integers(0, 6), max_size=60), st.integers(1, 16))
+def test_batched_ops_match_singleton_ops(batch_sizes, capacity):
+    """push_many/pop_many observe the same FIFO state as push/pop loops."""
+    batched = RingBuffer(capacity=capacity)
+    naive = RingBuffer(capacity=capacity)
+    counter = 0
+    for size in batch_sizes:
+        payloads = [rec(counter + i) for i in range(size)]
+        fits = size <= batched.free_slots()
+        if fits:
+            batched.push_many(payloads, produced_at=counter)
+            for payload in payloads:
+                naive.push(payload, produced_at=counter)
+            counter += size
+        else:
+            with pytest.raises(BufferFull):
+                batched.push_many(payloads, produced_at=counter)
+            drain = min(size, len(batched))
+            if drain:
+                popped = batched.pop_many(drain)
+                assert [e.payload.data for e in popped] == \
+                    [naive.pop().payload.data for _ in range(drain)]
+        assert len(batched) == len(naive)
+        assert batched.produced_total == naive.produced_total
+        assert batched.consumed_total == naive.consumed_total
+        assert batched.high_watermark == naive.high_watermark

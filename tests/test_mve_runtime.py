@@ -288,8 +288,27 @@ class TestBackPressure:
         _, runtime, client = make_runtime(ring_capacity=1)
         runtime.fork_follower(0)
         runtime.follower.cpu.block_until(10**12)
-        with pytest.raises(SimulationError, match="cannot hold"):
+        # The error must name both the problem and the configured size.
+        with pytest.raises(SimulationError,
+                           match=r"cannot hold one leader iteration.*"
+                                 r"capacity 1"):
             client.command(runtime, b"PUT a 1", now=10**9)
+
+    def test_batched_publish_matches_per_record_timestamps(self):
+        """push_many stamps each iteration's burst with one produce time,
+        exactly as the old per-record loop did between BufferFull events."""
+        _, runtime, client = make_runtime(ring_capacity=1 << 10)
+        runtime.fork_follower(0)
+        client.command(runtime, b"PUT a 1", now=10**9)
+        entries = [runtime.ring.pop() for _ in range(len(runtime.ring))]
+        stamps = []
+        for descriptor in runtime._iterations:
+            burst = entries[:descriptor.n_records]
+            entries = entries[descriptor.n_records:]
+            assert len({e.produced_at for e in burst}) == 1
+            stamps.append(burst[0].produced_at)
+        assert not entries  # descriptors account for every ring entry
+        assert stamps == sorted(stamps)
 
     def test_high_watermark_tracks_backlog(self):
         _, runtime, client = make_runtime(ring_capacity=1 << 10)
