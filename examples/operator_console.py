@@ -1,14 +1,18 @@
-"""The operator's view: console status, auto-pilot, and post-mortems.
+"""The operator's view: console status, live metrics, and post-mortems.
 
 The paper leaves promotion to operators ("if the new version shows no
 problems after a warmup period, operators can make it permanent").  This
-example shows that workflow end to end on the running-example store:
+example shows that workflow end to end on the running-example store,
+with the observability layer attached the way a production console
+would use it:
 
-1. a buggy update attempt — the operator reads the post-mortem of the
-   automatic rollback;
+1. a buggy update attempt — the operator reads the automatic rollback's
+   post-mortem *and* the divergence forensics bundle the monitor
+   captured (which leader record the follower disagreed on, what it
+   issued instead, the last ring records);
 2. the fixed update driven by the AutoPilot policy (promote after a
    clean warmup, finalize after a confirmation window) while traffic
-   flows.
+   flows, with the live metrics stream sampled every few ticks.
 
 Run with:  python examples/operator_console.py
 """
@@ -17,6 +21,7 @@ from repro.core import AutoPilot, Mvedsua, OperatorConsole
 from repro.core.report import render_history
 from repro.dsu.transform import TransformRegistry
 from repro.net import VirtualKernel
+from repro.obs import Tracer
 from repro.servers.kvstore import (
     KVStoreServer,
     KVStoreV1,
@@ -30,8 +35,28 @@ from repro.syscalls.costs import PROFILES
 from repro.workloads import VirtualClient
 
 
+def metrics_line(tracer: Tracer) -> str:
+    """One console line from the live metrics registry."""
+    snapshot = tracer.metrics.snapshot()
+
+    def value(name: str) -> int:
+        entry = snapshot.get(name, {})
+        return entry.get("value", 0)
+
+    occupancy = snapshot.get("ring.occupancy", {})
+    return (f"syscalls={value('syscalls.total')} "
+            f"ring.occupancy={occupancy.get('value', 0)} "
+            f"(peak {occupancy.get('max', 0)}) "
+            f"ring.stalls={value('ring.stalls')} "
+            f"divergence.checks={value('divergence.checks')} "
+            f"rules.hits={value('rules.dispatch_hits')}")
+
+
 def main() -> None:
     kernel = VirtualKernel()
+    # The console attaches a tracer to the running kernel: every gateway
+    # and runtime on it starts reporting, no restart needed.
+    tracer = Tracer(experiment="operator-console").attach(kernel)
     server = KVStoreServer(KVStoreV1())
     server.attach(kernel)
     buggy = TransformRegistry()
@@ -44,6 +69,7 @@ def main() -> None:
     client.command(mvedsua, b"PUT balance 1000")
     print("== status before the update ==")
     print(console.render_status())
+    print("metrics:", metrics_line(tracer))
 
     # Attempt 1: the transformer silently drops the table; the first
     # GET during catch-up diverges and the update rolls back.
@@ -51,6 +77,9 @@ def main() -> None:
     client.command(mvedsua, b"GET balance", now=2 * SECOND)
     print("\n== status after the rollback ==")
     print(console.render_status())
+    if mvedsua.runtime.last_forensics is not None:
+        print("\n== divergence forensics ==")
+        print(mvedsua.runtime.last_forensics.summary())
 
     # Attempt 2: transformer fixed; let the auto-pilot drive.
     mvedsua.kitsune.transforms = kv_transforms()
@@ -64,9 +93,18 @@ def main() -> None:
         action = pilot.observe(now)
         if action:
             print(f"\n[auto-pilot @ {11 + tick}s] {action}")
+        if tick % 8 == 0:
+            print(f"[metrics @ {11 + tick}s] {metrics_line(tracer)}")
 
     print("\n== final status ==")
     print(console.render_status())
+    print("\n== final metrics ==")
+    for name, entry in sorted(tracer.metrics.snapshot().items()):
+        rendered = " ".join(f"{key}={value}"
+                            for key, value in sorted(entry.items())
+                            if key != "type")
+        print(f"  {name:24s} {rendered}")
+    print(f"  trace events collected: {len(tracer.events)}")
     print("\n== post-mortems ==")
     print(render_history(mvedsua))
     print("\nGET balance ->",

@@ -11,12 +11,19 @@
     python -m repro experiments   # emit EXPERIMENTS.md to stdout
     python -m repro lint          # mvelint: static rule/transformer checks
     python -m repro perf          # wall-clock benchmark of the simulator
+    python -m repro trace fig6    # traced semantic companion run
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
 (``--quick``, ``--json``, ``--scenario NAME``, ``--repeat K``); it
 measures how fast the simulator itself runs and writes the
 ``BENCH_perf.json`` trajectory file — see ``docs/performance.md``.
+``trace`` runs an experiment's semantic companion with the structured
+tracer installed and writes a JSONL trace (``--quick``, ``--out PATH``,
+``--check``) — see ``docs/observability.md``.  Any experiment also
+accepts ``--trace PATH`` to run with the tracer installed and write the
+trace afterwards; the experiment's stdout is unchanged (tracing is
+passive).
 """
 
 from __future__ import annotations
@@ -49,22 +56,44 @@ def main(argv=None) -> int:
         # the perf harness has its own flags too.
         from repro.perf.cli import perf_main
         return perf_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # so does the tracer.
+        from repro.obs.cli import trace_main
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all", "lint", "perf"],
+                        choices=sorted(_COMMANDS) + ["all", "lint", "perf",
+                                                     "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'perf' the "
-                             "wall-clock benchmark harness)")
+                             "wall-clock benchmark harness; 'trace' a "
+                             "traced semantic companion)")
+    parser.add_argument("--trace", metavar="PATH", dest="trace_path",
+                        help="run with the structured tracer installed "
+                             "and write a JSONL trace to PATH afterwards")
     args = parser.parse_args(argv)
-    if args.experiment == "all":
-        for name in ("table1", "table2", "fig6", "fig7", "faults",
-                     "ablations", "cluster"):
-            print(f"\n{'=' * 72}\n")
+    names = (("table1", "table2", "fig6", "fig7", "faults",
+              "ablations", "cluster")
+             if args.experiment == "all" else (args.experiment,))
+
+    tracer = None
+    if args.trace_path:
+        from repro.obs.trace import Tracer, install_tracer
+        tracer = install_tracer(Tracer(experiment=args.experiment))
+    try:
+        for name in names:
+            if args.experiment == "all":
+                print(f"\n{'=' * 72}\n")
             _COMMANDS[name]()
-    else:
-        _COMMANDS[args.experiment]()
+    finally:
+        if tracer is not None:
+            from repro.obs.trace import uninstall_tracer
+            uninstall_tracer()
+            tracer.write_jsonl(args.trace_path)
+            print(f"\nwrote trace: {args.trace_path} "
+                  f"({len(tracer.events)} events)", file=sys.stderr)
     return 0
 
 

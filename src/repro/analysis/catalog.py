@@ -1,6 +1,6 @@
 """The app catalog mvelint runs over.
 
-An :class:`AppConfig` bundles everything the four analyzers need for one
+An :class:`AppConfig` bundles everything the five analyzers need for one
 application: its version registry, transformer registry, rule-set
 factory, seed traffic for building synthetic heaps, and an allowlist of
 findings the app deliberately accepts (each with a justification below).

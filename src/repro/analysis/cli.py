@@ -1,6 +1,6 @@
 """The ``python -m repro lint`` entry point.
 
-Runs all four mvelint analyzers over an app catalog and prints either a
+Runs all five mvelint analyzers over an app catalog and prints either a
 human-readable report or machine-readable JSON (``--json``) whose shape
 is documented in ``docs/linting.md``.  The exit status is 0 when no
 non-allowlisted ERROR finding exists, 1 otherwise — CI gates on it.
@@ -16,6 +16,7 @@ from repro.analysis.coverage import check_coverage
 from repro.analysis.findings import LintReport, Severity
 from repro.analysis.paths import audit_paths
 from repro.analysis.rules_lint import lint_rules
+from repro.analysis.trace_lint import lint_trace_tags
 from repro.analysis.transform_audit import audit_transforms
 from repro.errors import NoUpdatePath
 
@@ -41,6 +42,9 @@ def run_app(config: AppConfig) -> LintReport:
         report.extend(lint_rules(ruleset, app=app, pair=f"{old}->{new}",
                                  old_version=old_version,
                                  new_version=new_version))
+        report.extend(lint_trace_tags(ruleset, app=app, pair=f"{old}->{new}",
+                                      old_version=old_version,
+                                      new_version=new_version))
         report.extend(check_coverage(app, old_version, new_version,
                                      ruleset))
     report.extend(audit_transforms(app, config.versions, config.transforms,

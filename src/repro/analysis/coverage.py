@@ -1,4 +1,4 @@
-"""Coverage cross-check of rules against version deltas (analyzer 2 of 4).
+"""Coverage cross-check of rules against version deltas (analyzer 2 of 5).
 
 For an update pair ``(old, new)`` the behavioural deltas are read off the
 two :class:`~repro.dsu.version.ServerVersion` objects:

@@ -11,6 +11,7 @@ MVE1xx rewrite-rule lint (:mod:`repro.analysis.rules_lint`)
 MVE2xx coverage cross-check (:mod:`repro.analysis.coverage`)
 MVE3xx state-transformer audit (:mod:`repro.analysis.transform_audit`)
 MVE4xx update-path audit (:mod:`repro.analysis.paths`)
+MVE5xx trace-annotation lint (:mod:`repro.analysis.trace_lint`)
 ====== ==========================================================
 """
 

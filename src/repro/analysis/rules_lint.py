@@ -1,4 +1,4 @@
-"""Static lint of rewrite-rule sets (mvelint analyzer 1 of 4).
+"""Static lint of rewrite-rule sets (mvelint analyzer 1 of 5).
 
 The rule engine (:class:`repro.mve.dsl.rules.RuleEngine`) tries rules in
 priority order and fires the first full prefix match, so rule-set bugs

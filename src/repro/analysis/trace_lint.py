@@ -1,0 +1,62 @@
+"""Trace-annotation lint (mvelint analyzer 5 of 5).
+
+A rule that emits *fewer* records than it matches removes leader
+syscalls from the follower's expected stream — by construction it can
+mask a real divergence: had the follower misbehaved at exactly the
+dropped position, the checker would never see the mismatch.  The paper
+accepts such rules for intentional cross-version differences (e.g.
+Memcached's ``noreply`` suppressing the reply write), but forensics
+then depends on the trace saying *which* intentional difference the
+rule covers.
+
+* **MVE501 untagged-suppression** — a rule whose action drops records
+  from the expected stream (``suppresses=True`` for programmatically
+  built rules, or a DSL rule whose ``emit`` count is below its
+  ``match`` count) carries no :attr:`RewriteRule.trace_tag`; divergence
+  forensics on a run where this rule fired cannot distinguish "covered
+  intentional difference" from "silently swallowed bug".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.dsu.version import ServerVersion
+from repro.mve.dsl.rules import RewriteRule, RuleSet
+
+ANALYZER = "trace"
+
+
+def _is_suppressing(rule: RewriteRule) -> bool:
+    """Does this rule drop records from the expected stream?"""
+    if rule.suppresses:
+        return True
+    ast = rule.ast
+    if ast is not None and hasattr(ast, "matches") and hasattr(ast, "emits"):
+        return len(ast.emits) < len(ast.matches)
+    return False
+
+
+def lint_trace_tags(ruleset: RuleSet, *, app: str, pair: str,
+                    old_version: Optional[ServerVersion] = None,
+                    new_version: Optional[ServerVersion] = None
+                    ) -> List[Finding]:
+    """MVE501 over one update pair's rule set."""
+    findings: List[Finding] = []
+    for rule in ruleset.rules:
+        if not _is_suppressing(rule) or rule.trace_tag:
+            continue
+        findings.append(Finding(
+            code="MVE501",
+            severity=Severity.WARNING,
+            analyzer=ANALYZER,
+            app=app,
+            location=f"{pair}/{rule.name}",
+            message=(
+                f"rule {rule.name!r} suppresses records from the expected "
+                f"stream but has no trace_tag; a divergence it masks "
+                f"leaves no forensic marker — annotate the intentional "
+                f"difference (e.g. trace_tag=\"{app}-{rule.name}\")"),
+        ))
+    return findings

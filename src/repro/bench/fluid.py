@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.trace import current_tracer
 from repro.sim.engine import MILLISECOND, SECOND
 from repro.syscalls.costs import (
     AppProfile,
@@ -154,6 +155,13 @@ class FluidSim:
 
         result = FluidResult(bins=[], total_ops=0.0, duration_ns=duration,
                              max_latency_ns=0, longest_stall_ns=0)
+        #: Fluid runs are batch-granular: only lifecycle transitions are
+        #: traced (the semantic stack carries the per-syscall events).
+        tracer = current_tracer()
+
+        def mark(stage: str, at: int) -> None:
+            if tracer is not None:
+                tracer.on_dsu("lifecycle", at, stage=stage, sim="fluid")
 
         follower_op_cost = profile.op_cost_ns(
             ExecutionMode.FOLLOWER, n_bytes=config.n_bytes_per_op)
@@ -186,6 +194,8 @@ class FluidSim:
                         xform_ns * FOLLOWER_XFORM_FACTOR)
                     result.t2_updated = follower_ready_at
                     mode = self._leader_mode()
+                mark("t1_forked", result.t1_forked)
+                mark("t2_updated", result.t2_updated)
 
             if (follower and plan is not None
                     and plan.rollback_at is not None
@@ -197,6 +207,7 @@ class FluidSim:
                 draining_for_promotion = False
                 finalized = True
                 result.rolled_back_at = t
+                mark("rolled_back", t)
                 mode = self._single_mode()
 
             if (follower and plan is not None and plan.immediate_promotion
@@ -215,6 +226,7 @@ class FluidSim:
                 follower = False
                 finalized = True
                 result.t6_finalized = t
+                mark("t6_finalized", t)
                 mode = self._single_mode()
 
             # -- follower consumption --------------------------------------
@@ -232,15 +244,18 @@ class FluidSim:
                 if occupancy <= 0 and result.t3_caught_up is None \
                         and result.t2_updated is not None:
                     result.t3_caught_up = t
+                    mark("t3_caught_up", t)
 
             if draining_for_promotion and occupancy <= 0:
                 draining_for_promotion = False
                 promoted = True
                 result.t5_promoted = t
+                mark("t5_promoted", t)
                 if plan is not None and plan.immediate_promotion:
                     follower = False
                     finalized = True
                     result.t6_finalized = t
+                    mark("t6_finalized", t)
                     mode = self._single_mode()
 
             # -- leader service ---------------------------------------------

@@ -108,6 +108,11 @@ class Mvedsua:
             raise SimulationError(
                 f"cannot update while in stage {self.stage.value}")
         leader_server = self.runtime.leader.server
+        tracer = self.runtime.kernel.tracer
+        if tracer is not None:
+            tracer.on_dsu("request", now,
+                          old=leader_server.version.name,
+                          new=new_version.name)
         if prepare is not None:
             prepare(leader_server)
 
@@ -115,8 +120,13 @@ class Mvedsua:
         try:
             quiesce_ns = self.kitsune.quiesce(leader_server.program)
         except QuiescenceTimeout as exc:
+            if tracer is not None:
+                tracer.on_dsu("failed", now, reason="quiescence-failed",
+                              error=str(exc))
             return UpdateAttempt(False, "quiescence-failed", now,
                                  error=str(exc))
+        if tracer is not None:
+            tracer.on_dsu("quiesce", now + quiesce_ns, ns=quiesce_ns)
 
         # Phase 2: fork; the child performs the update.
         child = leader_server.fork()
@@ -128,6 +138,9 @@ class Mvedsua:
             # Detectable transformer failure: the follower never comes
             # up; the leader resumes as if nothing happened.
             leader_server.program.run_abort_callback()
+            if tracer is not None:
+                tracer.on_dsu("failed", now, reason="transform-failed",
+                              error=str(exc))
             return UpdateAttempt(False, "transform-failed", now,
                                  quiesce_ns=quiesce_ns, error=str(exc))
         child.apply_version(new_version, new_heap)
@@ -149,6 +162,13 @@ class Mvedsua:
 
         self.stage = Stage.OUTDATED_LEADER
         self.timeline = UpdateTimeline(t1_forked=t1, t2_updated=t2)
+        if tracer is not None:
+            tracer.on_dsu("xform", t2, ns=xform_ns, entries=entries,
+                          version=new_version.name)
+            tracer.on_dsu("applied", t1, t1=t1, t2=t2,
+                          old=leader_server.version.name,
+                          new=new_version.name)
+            tracer.on_dsu("resume", t1)
         return UpdateAttempt(True, "applied", t1, quiesce_ns=quiesce_ns,
                              xform_ns=xform_ns, entries=entries)
 

@@ -22,6 +22,7 @@ from repro.errors import QuiescenceTimeout, StateTransformError
 from repro.dsu.program import UpdatableProgram
 from repro.dsu.transform import TransformRegistry
 from repro.dsu.version import ServerVersion
+from repro.obs.trace import current_tracer
 
 
 class UpdateOutcome(enum.Enum):
@@ -111,21 +112,40 @@ class Kitsune:
         the result says why.
         """
         old_name = program.version.name
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.on_dsu("request", tracer.vnow, old=old_name,
+                          new=new_version.name, system="kitsune")
         try:
             quiesce_ns = self.quiesce(program)
         except QuiescenceTimeout as exc:
+            if tracer is not None:
+                tracer.on_dsu("failed", tracer.vnow,
+                              reason="quiescence-failed", error=str(exc))
             return UpdateResult(UpdateOutcome.QUIESCENCE_FAILED, 0,
                                 old_name, new_version.name, error=str(exc))
+        if tracer is not None:
+            tracer.on_dsu("quiesce", tracer.vnow + quiesce_ns, ns=quiesce_ns)
         try:
             new_heap, xform_ns, entries = self.transform(
                 program, new_version, xform_entry_ns)
         except StateTransformError as exc:
             # A detectably-failing transformer aborts the update after the
             # pause already paid for quiescence.
+            if tracer is not None:
+                tracer.on_dsu("failed", tracer.vnow,
+                              reason="transform-failed", error=str(exc))
             return UpdateResult(UpdateOutcome.TRANSFORM_FAILED, quiesce_ns,
                                 old_name, new_version.name, error=str(exc))
         program.version = new_version
         program.heap = new_heap
+        if tracer is not None:
+            at = tracer.vnow + quiesce_ns + xform_ns
+            tracer.on_dsu("xform", at, ns=xform_ns, entries=entries,
+                          version=new_version.name)
+            tracer.on_dsu("applied", at, old=old_name,
+                          new=new_version.name, system="kitsune")
+            tracer.on_dsu("resume", at)
         return UpdateResult(UpdateOutcome.APPLIED, quiesce_ns + xform_ns,
                             old_name, new_version.name,
                             entries_transformed=entries)

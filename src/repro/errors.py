@@ -63,13 +63,40 @@ class NoUpdatePath(UpdateError):
 
 
 class DivergenceError(ReproError):
-    """Leader and follower disagreed on externally visible behaviour."""
+    """Leader and follower disagreed on externally visible behaviour.
+
+    ``at`` (virtual nanoseconds) and ``version`` (the follower that
+    diverged) are filled in by the MVE runtime via :meth:`annotate`
+    once it knows them — the divergence check itself sees only the two
+    records.
+    """
 
     def __init__(self, message: str, *, expected: object = None,
-                 actual: object = None) -> None:
+                 actual: object = None, at: int | None = None,
+                 version: str | None = None) -> None:
         super().__init__(message)
         self.expected = expected
         self.actual = actual
+        self.base_message = message
+        self.at = at
+        self.version = version
+
+    def annotate(self, *, at: int | None = None,
+                 version: str | None = None) -> "DivergenceError":
+        """Attach the virtual timestamp and version id; rebuilds the
+        exception message so logs and reports carry both."""
+        if at is not None:
+            self.at = at
+        if version is not None:
+            self.version = version
+        suffix = []
+        if self.at is not None:
+            suffix.append(f"at={self.at}")
+        if self.version is not None:
+            suffix.append(f"version={self.version}")
+        if suffix:
+            self.args = (f"{self.base_message} [{' '.join(suffix)}]",)
+        return self
 
 
 class RuleError(ReproError):

@@ -88,6 +88,14 @@ class RewriteRule:
     #: :class:`repro.mve.dsl.parser.RuleAst`); None for rules built with
     #: the programmatic API.  mvelint uses it for structural checks.
     ast: Any = None
+    #: Annotation naming the intentional cross-version difference this
+    #: rule covers (e.g. "memcached-noreply").  Stamped into trace events
+    #: when the rule fires; mvelint's MVE501 requires it on rules that
+    #: drop records from the expected stream.
+    trace_tag: Optional[str] = None
+    #: True when the rule emits fewer records than it matches, i.e. it
+    #: would silently swallow a would-be divergence.
+    suppresses: bool = False
 
     def __post_init__(self) -> None:
         if not self.pattern:
@@ -393,7 +401,8 @@ def merge_writes(name: str, first: Callable[[bytes], bool],
 
 
 def suppress_reply(name: str, trigger: Callable[[bytes], bool],
-                   direction: Direction = Direction.OUTDATED_LEADER) -> RewriteRule:
+                   direction: Direction = Direction.OUTDATED_LEADER,
+                   trace_tag: Optional[str] = None) -> RewriteRule:
     """The follower issues *no* reply where the leader wrote one.
 
     For protocol extensions like Memcached's ``noreply``: the old leader
@@ -408,12 +417,12 @@ def suppress_reply(name: str, trigger: Callable[[bytes], bool],
         name,
         [SyscallPattern(Sys.READ, predicate=trigger),
          SyscallPattern(Sys.WRITE)],
-        action, direction)
+        action, direction, trace_tag=trace_tag, suppresses=True)
 
 
 def tolerate_extra_reply(name: str, trigger: Callable[[bytes], bool],
-                         direction: Direction = Direction.UPDATED_LEADER
-                         ) -> RewriteRule:
+                         direction: Direction = Direction.UPDATED_LEADER,
+                         trace_tag: Optional[str] = None) -> RewriteRule:
     """The follower writes a reply the leader suppressed.
 
     The reverse of :func:`suppress_reply`: the new leader (told
@@ -427,8 +436,11 @@ def tolerate_extra_reply(name: str, trigger: Callable[[bytes], bool],
                                  aux={"wildcard": True})
         return [matched[0], wildcard]
 
+    # The wildcard write accepts *any* follower reply content, so this
+    # rule also masks would-be divergences and wants a trace_tag.
     return RewriteRule(name, [SyscallPattern(Sys.READ, predicate=trigger)],
-                       action, direction)
+                       action, direction, trace_tag=trace_tag,
+                       suppresses=True)
 
 
 def swap_adjacent(name: str, first: SyscallPattern, second: SyscallPattern,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 
 class ControlKind(enum.Enum):
@@ -25,10 +26,24 @@ class ControlKind(enum.Enum):
 
 @dataclass(frozen=True)
 class ControlEvent:
-    """A non-syscall marker in the ring-buffer stream."""
+    """A non-syscall marker in the ring-buffer stream.
+
+    ``at`` and ``version`` attribute the event to the virtual instant it
+    was registered and the version that registered it, so log lines and
+    traces can place a promotion precisely on the t1–t6 timeline.
+    """
 
     kind: ControlKind
+    #: Virtual time the event entered the ring stream (None: unknown).
+    at: Optional[int] = None
+    #: Version name of the process that registered the event.
+    version: Optional[str] = None
 
     def describe(self) -> str:
-        """Log-friendly form."""
-        return f"<control:{self.kind.value}>"
+        """Log-friendly form; carries time/version when known."""
+        base = f"<control:{self.kind.value}"
+        if self.at is not None:
+            base += f" at={self.at}"
+        if self.version is not None:
+            base += f" by={self.version}"
+        return base + ">"

@@ -101,6 +101,12 @@ class SyscallGateway:
         self.trace.records.append(record)
         if record.name in (Sys.READ, Sys.WRITE):
             self.trace.bytes_transferred += len(record.data)
+        # Observability: read the tracer off the kernel each time so a
+        # tracer attached after construction is still seen; the disabled
+        # path is one attribute load and an ``is None`` test.
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.on_syscall(self.role.value, record)
         return record
 
     # -- sockets ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.mve.dsl.rules import Direction, RuleSet
 from repro.mve.events import ControlEvent, ControlKind
 from repro.mve.gateway import GatewayRole, IterationTrace, SyscallGateway
 from repro.mve.ring_buffer import BufferFull, RingBuffer
+from repro.obs.forensics import ForensicsBundle, build_divergence_bundle
 from repro.net.kernel import VirtualKernel
 from repro.net.sockets import Endpoint
 from repro.sim.process import CpuAccount
@@ -116,6 +117,19 @@ class VaranRuntime:
         self.completions: List[Tuple[int, int]] = []
         #: Cumulative syscall records the leader emitted (perf telemetry).
         self.total_syscalls = 0
+        #: Times a full ring blocked the leader (always counted — the
+        #: perf harness reports it next to ``ring.high_watermark``).
+        self.ring_stalls = 0
+        #: The rule engine of the most recently replayed iteration,
+        #: kept for divergence forensics (window state, fired rules).
+        self._last_engine = None
+        #: Forensics bundle for the most recent divergence, if any.
+        self.last_forensics: Optional[ForensicsBundle] = None
+
+    @property
+    def tracer(self):
+        """The attached tracer, if any (lives on the shared kernel)."""
+        return self.kernel.tracer
 
     # ------------------------------------------------------------------
     # Introspection
@@ -140,6 +154,9 @@ class VaranRuntime:
         self.events.append(event)
         if self.observer is not None:
             self.observer(event)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.emit(f"mve.{kind}", "mve", at=at, detail=detail)
 
     def event_kinds(self) -> List[str]:
         """Just the kinds, in order — convenient for assertions."""
@@ -202,11 +219,15 @@ class VaranRuntime:
         t = at
         records = trace.records
         pushed, total = 0, len(records)
+        tracer = self.kernel.tracer
         while pushed < total:
             if self.follower is None:
                 return t  # follower died while we were blocked
             free = self.ring.free_slots()
             if free == 0:
+                self.ring_stalls += 1
+                if tracer is not None:
+                    tracer.on_ring_stall(t, self.ring.capacity)
                 freed_at = self._replay_one()
                 if freed_at is None:
                     raise SimulationError(
@@ -217,6 +238,9 @@ class VaranRuntime:
             take = min(free, total - pushed)
             self.ring.push_many(records[pushed:pushed + take], t)
             pushed += take
+            if tracer is not None:
+                tracer.on_ring_publish(t, take, len(self.ring),
+                                       self.ring.high_watermark)
         if self.follower is not None:
             self._iterations.append(IterationDescriptor(
                 n_records=total,
@@ -231,6 +255,10 @@ class VaranRuntime:
                 self.ring.push(payload, t)
                 return t
             except BufferFull:
+                self.ring_stalls += 1
+                tracer = self.kernel.tracer
+                if tracer is not None:
+                    tracer.on_ring_stall(t, self.ring.capacity)
                 freed_at = self._replay_one()
                 if freed_at is None:
                     raise SimulationError(
@@ -308,12 +336,24 @@ class VaranRuntime:
         stream = iter(expected)
         gateway.expected_source = lambda: next(stream, None)
         gateway.begin_iteration()
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.advance(ready_at)
+            tracer.on_ring_replay(ready_at, len(entries), len(self.ring),
+                                  entries)
         try:
             follower.server.run_iteration(gateway)
             gateway.finish_iteration()
         except DivergenceError as divergence:
-            self.last_divergence = divergence
             at = max(follower.cpu.busy_until, ready_at)
+            divergence.annotate(at=at, version=follower.version_name)
+            self.last_divergence = divergence
+            self.last_forensics = self._capture_forensics(
+                at, divergence, entries, expected, follower)
+            if tracer is not None:
+                tracer.on_divergence_check(at, False, len(entries),
+                                           detail=str(divergence))
+                tracer.on_forensics(self.last_forensics)
             self.log(at, "divergence", str(divergence))
             self._terminate_process(follower, at, reason="divergence")
             return at
@@ -325,16 +365,46 @@ class VaranRuntime:
             return at
         cost = self.iteration_cost(gateway.trace, ExecutionMode.FOLLOWER)
         start = max(follower.cpu.busy_until, ready_at)
-        return follower.cpu.charge(start, cost)
+        done = follower.cpu.charge(start, cost)
+        if tracer is not None:
+            tracer.on_divergence_check(done, True, len(entries))
+        return done
 
     def _rewrite(self, payloads) -> List[SyscallRecord]:
         """Run one iteration's leader records through the stage rules."""
         engine = self.rules.engine_for_stage(self.stage_direction)
+        n_in = 0
         for payload in payloads:
             engine.offer(payload)
+            n_in += 1
         engine.flush()
         self.rules_fired.extend(engine.fired)
-        return engine.take_ready()
+        self._last_engine = engine
+        expected = engine.take_ready()
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.on_rules_applied(n_in, len(expected), engine.fired)
+        return expected
+
+    def _capture_forensics(self, at: int, divergence: DivergenceError,
+                           entries, expected, follower) -> ForensicsBundle:
+        """Bundle the monitor's state at a divergence (see
+        :mod:`repro.obs.forensics`)."""
+        tracer = self.kernel.tracer
+        history = tracer.ring_history if tracer is not None else entries
+        engine = self._last_engine
+        return build_divergence_bundle(
+            at=at,
+            version=follower.version_name,
+            leader_version=self.leader.version_name,
+            error=divergence,
+            ring_history=history,
+            ring_pending=[self.ring.peek(i) for i in range(len(self.ring))],
+            expected_records=expected,
+            issued_records=follower.gateway.trace.records,
+            rule_window=engine.pending_window() if engine is not None else 0,
+            rules_fired=list(engine.fired) if engine is not None else [],
+        )
 
     # ------------------------------------------------------------------
     # Promotion, termination, failure policy
@@ -350,11 +420,15 @@ class VaranRuntime:
         if self.follower is None:
             raise SimulationError("no follower to promote")
         start = max(now, self.leader.cpu.busy_until)
-        self._push_with_backpressure(ControlEvent(ControlKind.PROMOTE), start)
+        event = ControlEvent(ControlKind.PROMOTE, at=start,
+                             version=self.leader.version_name)
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.on_control("promote", start, self.leader.version_name)
+        self._push_with_backpressure(event, start)
         self._iterations.append(IterationDescriptor(
-            n_records=1, requests=0,
-            control=ControlEvent(ControlKind.PROMOTE)))
-        self.log(start, "demote-requested")
+            n_records=1, requests=0, control=event))
+        self.log(start, "demote-requested", event.describe())
         last = None
         while self._iterations and self.follower is not None:
             last = self._replay_one()

@@ -14,6 +14,7 @@ from repro.errors import BadFileDescriptor, KernelError
 from repro.net.epoll import EpollSet
 from repro.net.filesystem import VirtualFilesystem
 from repro.net.sockets import Connection, Endpoint, ListeningSocket
+from repro.obs.trace import current_tracer
 
 #: Anything an fd can refer to.
 FdObject = Union[Endpoint, ListeningSocket, EpollSet]
@@ -51,6 +52,10 @@ class VirtualKernel:
         self._domains: Dict[int, _Domain] = {}
         self._listeners: Dict[Tuple[str, int], Tuple[int, int]] = {}
         self._next_domain = 1
+        #: Observability hook: the active tracer at construction time
+        #: (or one attached later via ``Tracer.attach``).  None — the
+        #: default — keeps every syscall path tracer-free.
+        self.tracer = current_tracer()
 
     # -- domains -----------------------------------------------------------
 
@@ -71,12 +76,16 @@ class VirtualKernel:
 
     def listen(self, domain_id: int, address: Tuple[str, int]) -> int:
         """socket+bind+listen in one step; returns the listening fd."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "listen", domain_id)
         if address in self._listeners:
             raise KernelError(f"address in use: {address}")
         domain = self._domain(domain_id)
         sock = ListeningSocket(address)
         fd = domain.alloc(sock)
         self._listeners[address] = (domain_id, fd)
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "listen", domain_id, fd)
         return fd
 
     def connect(self, domain_id: int, address: Tuple[str, int]) -> int:
@@ -85,6 +94,8 @@ class VirtualKernel:
         The connection is queued on the listener's backlog until the server
         accepts it.
         """
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "connect", domain_id)
         if address not in self._listeners:
             raise KernelError(f"connection refused: {address}")
         listener_domain_id, listener_fd = self._listeners[address]
@@ -97,10 +108,14 @@ class VirtualKernel:
         domain = self._domain(domain_id)
         fd = domain.alloc(connection.client)
         domain.endpoint_conn[fd] = connection
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "connect", domain_id, fd)
         return fd
 
     def accept(self, domain_id: int, listen_fd: int) -> int:
         """Accept a pending connection; returns the server-side fd."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "accept", domain_id, listen_fd)
         domain = self._domain(domain_id)
         listener = domain.lookup(listen_fd)
         if not isinstance(listener, ListeningSocket):
@@ -110,27 +125,41 @@ class VirtualKernel:
         connection = listener.accept()
         fd = domain.alloc(connection.server)
         domain.endpoint_conn[fd] = connection
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "accept", domain_id, fd)
         return fd
 
     def read(self, domain_id: int, fd: int, max_bytes: Optional[int] = None) -> bytes:
         """Read buffered bytes; ``b""`` means EOF."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "read", domain_id, fd)
         domain = self._domain(domain_id)
         endpoint = domain.lookup(fd)
         if not isinstance(endpoint, Endpoint):
             raise KernelError(f"fd {fd} is not a stream")
-        return endpoint.read(max_bytes)
+        data = endpoint.read(max_bytes)
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "read", domain_id, fd)
+        return data
 
     def write(self, domain_id: int, fd: int, data: bytes) -> int:
         """Write bytes to the peer; returns the byte count."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "write", domain_id, fd)
         domain = self._domain(domain_id)
         endpoint = domain.lookup(fd)
         if not isinstance(endpoint, Endpoint):
             raise KernelError(f"fd {fd} is not a stream")
         connection = domain.endpoint_conn[fd]
-        return connection.write(endpoint, data)
+        written = connection.write(endpoint, data)
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "write", domain_id, fd)
+        return written
 
     def close(self, domain_id: int, fd: int) -> None:
         """Close any fd; streams signal EOF to their peer."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "close", domain_id, fd)
         domain = self._domain(domain_id)
         obj = domain.lookup(fd)
         if isinstance(obj, Endpoint):
@@ -143,6 +172,8 @@ class VirtualKernel:
         for epoll in domain.fds.values():
             if isinstance(epoll, EpollSet):
                 epoll.remove(fd)
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "close", domain_id, fd)
 
     def is_open(self, domain_id: int, fd: int) -> bool:
         """True when ``fd`` is open in the domain."""
@@ -174,6 +205,8 @@ class VirtualKernel:
 
     def epoll_wait(self, domain_id: int, epfd: int) -> List[int]:
         """Ready fds (level-triggered), in registration order."""
+        if self.tracer is not None:
+            self.tracer.on_kernel("enter", "epoll_wait", domain_id, epfd)
         domain = self._domain(domain_id)
         epoll = domain.lookup(epfd)
         if not isinstance(epoll, EpollSet):
@@ -187,6 +220,8 @@ class VirtualKernel:
                 ready.append(fd)
             elif isinstance(obj, ListeningSocket) and obj.has_pending():
                 ready.append(fd)
+        if self.tracer is not None:
+            self.tracer.on_kernel("exit", "epoll_wait", domain_id, epfd)
         return ready
 
     # -- inspection (used by tests and the MVE runtime) ----------------------

@@ -1,0 +1,40 @@
+"""repro.obs — structured tracing, metrics, and divergence forensics.
+
+Zero-cost when disabled: instrumented hot paths guard every hook with a
+single ``tracer is not None`` test.  See ``docs/observability.md``.
+"""
+
+from repro.obs.forensics import ForensicsBundle, build_divergence_bundle
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCENARIOS",
+    "run_trace_scenario",
+    "TraceEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ForensicsBundle",
+    "build_divergence_bundle",
+    "current_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "tracing",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

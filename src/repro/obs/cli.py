@@ -1,0 +1,92 @@
+"""The ``python -m repro trace`` entry point.
+
+    python -m repro trace fig6              # run + write TRACE_fig6.jsonl
+    python -m repro trace fig6 --quick      # smaller workload (CI smoke)
+    python -m repro trace faults --check    # validate the JSONL afterwards
+    python -m repro trace fig7 --out t.jsonl
+
+Runs the experiment's *semantic companion* scenario (see
+:mod:`repro.obs.scenarios`) with a tracer installed, writes the JSONL
+trace, and prints an event/metric summary — plus a forensics summary
+for every divergence the run hit.  The trace schema is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterable, Optional
+
+from repro.bench.reporting import format_table
+from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
+from repro.obs.trace import DEFAULT_LAST_K, validate_trace_file
+
+
+def trace_main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run an experiment's semantic companion under the "
+                    "tracer and write a structured JSONL trace.")
+    parser.add_argument("experiment", choices=sorted(TRACE_SCENARIOS),
+                        help="which experiment's companion scenario to run")
+    parser.add_argument("--out", metavar="PATH",
+                        help="trace output path "
+                             "(default: TRACE_<experiment>.jsonl)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run a reduced workload (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the written JSONL against the "
+                             "trace schema; non-zero exit on problems")
+    parser.add_argument("--last-k", type=int, default=DEFAULT_LAST_K,
+                        metavar="K",
+                        help="ring records kept for divergence forensics "
+                             "(default: %(default)s)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    tracer = run_trace_scenario(args.experiment, quick=args.quick,
+                                last_k=args.last_k)
+    out = args.out or f"TRACE_{args.experiment}.jsonl"
+    tracer.write_jsonl(out)
+
+    print(f"repro trace {args.experiment}: {len(tracer.events)} events "
+          f"-> {out}")
+    tally = tracer.kind_tally()
+    print(format_table(
+        ["event kind", "count"],
+        [[kind, tally[kind]] for kind in sorted(tally)]))
+    snapshot = tracer.metrics.snapshot()
+    if snapshot:
+        print()
+        print(format_table(
+            ["metric", "value"],
+            [[name, _render_metric(value)]
+             for name, value in snapshot.items()]))
+    for index, bundle in enumerate(tracer.forensics):
+        print()
+        print(f"forensics bundle {index}:")
+        print(bundle.summary())
+
+    if args.check:
+        problems = validate_trace_file(out)
+        if problems:
+            for problem in problems:
+                print(f"schema problem: {problem}")
+            return 1
+        print(f"schema ok: {out} is valid {_schema_id()}")
+    return 0
+
+
+def _render_metric(value) -> str:
+    if isinstance(value, dict):
+        return " ".join(f"{k}={v}" for k, v in sorted(value.items()))
+    return str(value)
+
+
+def _schema_id() -> str:
+    from repro.obs.trace import TRACE_SCHEMA
+    return TRACE_SCHEMA
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(trace_main())

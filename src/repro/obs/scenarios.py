@@ -1,0 +1,202 @@
+"""Traced companion scenarios for ``python -m repro trace``.
+
+The headline experiments (``fig6``, ``fig7``, ``table1``, ``table2``,
+``faults``) reproduce the paper's *numbers* with the fluid simulator,
+which is batch-granular and therefore nearly silent at trace level.
+Each experiment here gets a *semantic companion*: the same lifecycle —
+same servers, same rules, same fault injections — driven through the
+full semantic stack (virtual kernel, ring buffer, rewrite rules, DSU
+engine), so its trace carries the per-syscall, per-ring-batch, and
+per-divergence-check events forensics needs.
+
+``run_trace_scenario(name)`` builds a :class:`~repro.obs.trace.Tracer`,
+installs it for the duration of the run, and returns it loaded with
+events, metrics, and (for ``faults``) forensics bundles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.obs.trace import DEFAULT_LAST_K, Tracer, tracing
+
+
+def _trace_fig6(tracer: Tracer, quick: bool) -> None:
+    """Redis 2.0.0 -> 2.0.1 through the full Mvedsua lifecycle."""
+    from repro.core import Mvedsua
+    from repro.net import VirtualKernel
+    from repro.servers.redis import (RedisServer, redis_rules,
+                                     redis_transforms, redis_version)
+    from repro.sim.engine import SECOND
+    from repro.syscalls.costs import PROFILES
+    from repro.workloads import VirtualClient
+    from repro.workloads.memtier import MemtierSpec
+
+    ops = 8 if quick else 40
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                      transforms=redis_transforms(), ring_capacity=1 << 10)
+    client = VirtualClient(kernel, server.address)
+    spec = MemtierSpec()
+
+    def serve(start_ns: int, seed: int) -> None:
+        now = start_ns
+        for command in spec.commands(ops, protocol="redis", seed=seed):
+            _, now = client.request(mvedsua, command, now)
+
+    serve(SECOND, seed=1)
+    mvedsua.request_update(redis_version("2.0.1", hmget_bug=False),
+                           100 * SECOND,
+                           rules=redis_rules("2.0.0", "2.0.1"))
+    serve(101 * SECOND, seed=2)
+    mvedsua.promote(200 * SECOND)
+    serve(201 * SECOND, seed=3)
+    mvedsua.finalize(300 * SECOND)
+    serve(301 * SECOND, seed=4)
+
+
+def _trace_table1(tracer: Tracer, quick: bool) -> None:
+    """One Vsftpd Table 1 update pair (2.0.4 -> 2.0.5, RETR reorder)."""
+    from repro.core import Mvedsua
+    from repro.net import VirtualKernel
+    from repro.servers.vsftpd import (VsftpdServer, vsftpd_rules,
+                                      vsftpd_transforms, vsftpd_version)
+    from repro.sim.engine import SECOND
+    from repro.syscalls.costs import PROFILES
+    from repro.workloads.ftpclient import FtpClient
+
+    retrs = 1 if quick else 4
+    kernel = VirtualKernel()
+    kernel.fs.write_file("/f.txt", b"trace payload")
+    server = VsftpdServer(vsftpd_version("2.0.4"))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["vsftpd-small"],
+                      transforms=vsftpd_transforms())
+    client = FtpClient(kernel, server.address)
+    client.login(mvedsua)
+    mvedsua.request_update(vsftpd_version("2.0.5"), SECOND,
+                           rules=vsftpd_rules("2.0.4", "2.0.5"))
+    now = 2 * SECOND
+    for _ in range(retrs):
+        client.retr(mvedsua, "f.txt", now=now)
+        now += SECOND
+    mvedsua.promote(now)
+    client.retr(mvedsua, "f.txt", now=now + SECOND)
+    mvedsua.finalize(now + 2 * SECOND)
+
+
+def _trace_table2(tracer: Tracer, quick: bool) -> None:
+    """Redis steady state: single leader, then a plain Varan follower."""
+    from repro.mve import VaranRuntime
+    from repro.net import VirtualKernel
+    from repro.servers.redis import RedisServer, redis_version
+    from repro.syscalls.costs import PROFILES
+    from repro.workloads import VirtualClient
+    from repro.workloads.memtier import MemtierSpec
+
+    ops = 8 if quick else 40
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["redis"],
+                           ring_capacity=1 << 10, with_kitsune=False)
+    client = VirtualClient(kernel, server.address)
+    spec = MemtierSpec()
+    now = 0
+    for command in spec.commands(ops, protocol="redis", seed=5):
+        _, now = client.request(runtime, command, now + 1)
+    runtime.fork_follower(now)
+    for command in spec.commands(ops, protocol="redis", seed=6):
+        _, now = client.request(runtime, command, now + 1)
+    runtime.drain_follower()
+
+
+def _trace_fig7(tracer: Tracer, quick: bool) -> None:
+    """KV store through a tiny (8-entry) ring: heavy back-pressure."""
+    from repro.mve import VaranRuntime
+    from repro.net import VirtualKernel
+    from repro.servers.kvstore import KVStoreServer, KVStoreV1
+    from repro.syscalls.costs import PROFILES
+    from repro.workloads import VirtualClient
+
+    ops = 12 if quick else 80
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    runtime = VaranRuntime(kernel, server, PROFILES["kvstore"],
+                           ring_capacity=8)
+    client = VirtualClient(kernel, server.address)
+    runtime.fork_follower(0)
+    now = 0
+    for index in range(ops):
+        _, now = client.request(runtime, b"PUT k%d v%d" % (index % 16, index),
+                                now + 1)
+    runtime.drain_follower()
+
+
+def _trace_faults(tracer: Tracer, quick: bool) -> None:
+    """Forced failures: an xform bug (divergence + forensics bundle) and
+    a new-code crash (follower terminated, service survives)."""
+    from repro.core import Mvedsua
+    from repro.dsu.transform import TransformRegistry
+    from repro.net import VirtualKernel
+    from repro.servers.kvstore import (KVStoreServer, KVStoreV1, KVStoreV2,
+                                       kv_rules, xform_drop_table)
+    from repro.servers.redis import (RedisServer, redis_rules,
+                                     redis_transforms, redis_version)
+    from repro.sim.engine import SECOND
+    from repro.syscalls.costs import PROFILES
+    from repro.workloads import VirtualClient
+
+    # -- xform bug: the dropped table makes the follower's GET diverge.
+    buggy = TransformRegistry()
+    buggy.register("kvstore", "1.0", "2.0", xform_drop_table)
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"], transforms=buggy)
+    client = VirtualClient(kernel, server.address)
+    client.command(mvedsua, b"PUT balance 1000")
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET balance", now=2 * SECOND)
+    client.command(mvedsua, b"GET balance", now=3 * SECOND)
+
+    # -- new-code crash: the E1 Redis HMGET bug kills the follower.
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    mvedsua = Mvedsua(kernel, server, PROFILES["redis"],
+                      transforms=redis_transforms())
+    client = VirtualClient(kernel, server.address)
+    client.command(mvedsua, b"SET wrongtype value")
+    mvedsua.request_update(redis_version("2.0.1", hmget_bug=True),
+                           SECOND, rules=redis_rules("2.0.0", "2.0.1"))
+    client.command(mvedsua, b"HMGET wrongtype f", now=2 * SECOND)
+    client.command(mvedsua, b"GET wrongtype", now=3 * SECOND)
+
+
+#: experiment name -> scenario driver.  Keys deliberately mirror the
+#: ``python -m repro <experiment>`` names the trace is a companion to.
+TRACE_SCENARIOS: Dict[str, Callable[[Tracer, bool], None]] = {
+    "fig6": _trace_fig6,
+    "fig7": _trace_fig7,
+    "table1": _trace_table1,
+    "table2": _trace_table2,
+    "faults": _trace_faults,
+}
+
+
+def run_trace_scenario(name: str, *, quick: bool = False,
+                       last_k: int = DEFAULT_LAST_K) -> Tracer:
+    """Run one traced companion scenario; returns the loaded tracer."""
+    try:
+        scenario = TRACE_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown trace scenario {name!r} "
+                       f"(have: {', '.join(sorted(TRACE_SCENARIOS))})")
+    tracer = Tracer(experiment=name, last_k=last_k)
+    with tracing(tracer):
+        scenario(tracer, quick)
+    return tracer

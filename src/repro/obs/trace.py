@@ -1,0 +1,350 @@
+"""Structured, virtual-time-stamped tracing for the whole stack.
+
+One :class:`Tracer` collects :class:`TraceEvent` records from
+instrumentation hooks in the simulation engine, the virtual kernel, the
+MVE runtime, and the DSU engine.  The design constraint is the paper's:
+the common case is *no* observer, and then tracing must cost nothing.
+Every hook therefore reduces to one attribute load plus an ``is None``
+test — no wrappers, no decorators, no conditional imports on hot paths.
+
+The tracer is found two ways:
+
+* a module-global *active* tracer (:func:`install_tracer`), picked up by
+  :class:`~repro.net.kernel.VirtualKernel` and
+  :class:`~repro.sim.engine.Engine` at construction time — this is what
+  ``python -m repro trace`` and the ``--trace PATH`` flag use;
+* explicit attachment (:meth:`Tracer.attach`) to an existing kernel —
+  what ``examples/operator_console.py`` does.
+
+Timestamps are virtual nanoseconds.  Layers that know the virtual time
+(the MVE runtime, the orchestrator) call :meth:`Tracer.advance`; layers
+that do not (the kernel, the gateway) stamp events with the most
+recently advanced time, which is exact at iteration granularity.
+
+Traces export as JSONL (schema ``repro-trace/1``): a header line, one
+line per event, and a final ``metrics.snapshot`` line.  See
+``docs/observability.md`` for the full schema and event taxonomy.
+
+This module imports only the standard library and
+:mod:`repro.obs.metrics`, so any layer of the stack can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: JSONL trace schema identifier (bump on shape changes).
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Ring records a forensics bundle keeps (the "last K" of the issue).
+DEFAULT_LAST_K = 32
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of event field values to JSON-ready data.
+
+    Bytes become latin-1 strings with non-printables escaped; enums use
+    their ``value``; tuples become lists; mappings become dicts.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.decode("latin-1").encode("unicode_escape") \
+            .decode("ascii")
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if hasattr(value, "value") and not callable(value.value):  # enums
+        return jsonable(value.value)
+    return repr(value)
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    at: int
+    kind: str
+    layer: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"at": self.at, "kind": self.kind,
+                                   "layer": self.layer}
+        for key, value in self.fields.items():
+            payload[key] = jsonable(value)
+        return payload
+
+
+class Tracer:
+    """Collects trace events, metrics, and divergence forensics.
+
+    Class-level tallies (``created_total``, ``emitted_total``) exist so
+    the overhead regression test can assert the disabled path creates
+    *nothing* — counts, not wall-clock.
+    """
+
+    #: Tracer instances ever constructed (process lifetime).
+    created_total = 0
+    #: Trace events ever emitted, across all tracers (process lifetime).
+    emitted_total = 0
+
+    def __init__(self, experiment: str = "",
+                 last_k: int = DEFAULT_LAST_K) -> None:
+        Tracer.created_total += 1
+        self.experiment = experiment
+        self.events: List[TraceEvent] = []
+        self.metrics = MetricsRegistry()
+        #: Most recently advanced virtual time; used to stamp events
+        #: from layers that do not carry a clock.
+        self.vnow = 0
+        #: Recently consumed ring entries, kept for divergence forensics.
+        self.ring_history: Deque[Any] = deque(maxlen=last_k)
+        self.last_k = last_k
+        #: Forensics bundles captured on divergences (see
+        #: :mod:`repro.obs.forensics`).
+        self.forensics: List[Any] = []
+
+    # -- core emission ------------------------------------------------------
+
+    def advance(self, at: int) -> None:
+        """Move the tracer's notion of virtual time forward (never back)."""
+        if at > self.vnow:
+            self.vnow = at
+
+    def emit(self, kind: str, layer: str, at: Optional[int] = None,
+             **fields: Any) -> TraceEvent:
+        """Record one event; ``at=None`` stamps the current virtual time."""
+        if at is None:
+            at = self.vnow
+        else:
+            self.advance(at)
+        event = TraceEvent(at, kind, layer, fields)
+        self.events.append(event)
+        Tracer.emitted_total += 1
+        return event
+
+    def attach(self, kernel: Any) -> "Tracer":
+        """Attach this tracer to an existing kernel (and everything that
+        reads ``kernel.tracer`` — gateways, MVE runtimes)."""
+        kernel.tracer = self
+        return self
+
+    # -- layer hooks --------------------------------------------------------
+    #
+    # Call sites guard with ``if tracer is not None:`` and then call one
+    # of these, keeping instrumented modules to a single line each.
+
+    def on_syscall(self, role: str, record: Any) -> None:
+        """A gateway emitted one syscall record (any role)."""
+        self.emit("syscall", "mve", role=role, name=record.name.value,
+                  fd=record.fd, nbytes=len(record.data))
+        self.metrics.counter("syscalls.total").inc()
+        self.metrics.counter(f"syscalls.{role}").inc()
+
+    def on_kernel(self, phase: str, op: str, domain: int,
+                  fd: int = -1) -> None:
+        """The virtual kernel entered/exited one syscall implementation."""
+        self.emit(f"kernel.{phase}", "kernel", op=op, domain=domain, fd=fd)
+        if phase == "enter":
+            self.metrics.counter("kernel.syscalls").inc()
+
+    def on_sim_event(self, at: int, pending: int) -> None:
+        """The discrete-event engine dispatched one scheduled event."""
+        self.emit("sim.event", "sim", at=at, pending=pending)
+        self.metrics.counter("sim.events").inc()
+
+    def on_ring_publish(self, at: int, count: int, occupancy: int,
+                        high_watermark: int) -> None:
+        """The leader pushed a batch of records onto the ring."""
+        self.emit("ring.publish", "mve", at=at, count=count,
+                  occupancy=occupancy)
+        self.metrics.counter("ring.published").inc(count)
+        self.metrics.gauge("ring.occupancy").set(occupancy)
+        self.metrics.gauge("ring.high_watermark").set(high_watermark)
+
+    def on_ring_replay(self, at: int, count: int, occupancy: int,
+                       entries: Iterable[Any] = ()) -> None:
+        """The follower consumed one iteration's entries from the ring."""
+        self.ring_history.extend(entries)
+        self.emit("ring.replay", "mve", at=at, count=count,
+                  occupancy=occupancy)
+        self.metrics.counter("ring.replayed").inc(count)
+        self.metrics.gauge("ring.occupancy").set(occupancy)
+
+    def on_ring_stall(self, at: int, capacity: int) -> None:
+        """A full ring blocked the leader (Figure 7's back-pressure)."""
+        self.emit("ring.stall", "mve", at=at, capacity=capacity)
+        self.metrics.counter("ring.stalls").inc()
+
+    def on_rules_applied(self, n_in: int, n_out: int,
+                         fired: List[str]) -> None:
+        """One iteration's records crossed the rewrite-rule engine."""
+        self.metrics.counter("rules.records_in").inc(n_in)
+        self.metrics.counter("rules.dispatch_hits").inc(len(fired))
+        for name in fired:
+            self.emit("rule.fired", "mve", rule=name)
+
+    def on_divergence_check(self, at: int, ok: bool, records: int,
+                            detail: str = "") -> None:
+        """One replayed iteration's verdict: matched or diverged."""
+        self.emit("divergence.check", "mve", at=at, ok=ok, records=records,
+                  detail=detail)
+        self.metrics.counter("divergence.checks").inc()
+        if not ok:
+            self.metrics.counter("divergence.detected").inc()
+
+    def on_forensics(self, bundle: Any) -> None:
+        """A divergence produced a forensics bundle; keep and announce it."""
+        self.forensics.append(bundle)
+        self.emit("divergence.forensics", "mve", at=bundle.at,
+                  reason=bundle.reason, bundle=len(self.forensics) - 1,
+                  ring_records=len(bundle.ring_last_k))
+
+    def on_dsu(self, kind: str, at: int, **fields: Any) -> None:
+        """A DSU lifecycle step (request/quiesce/xform/applied/...)."""
+        self.emit(f"dsu.{kind}", "dsu", at=at, **fields)
+        self.metrics.counter(f"dsu.{kind}").inc()
+        if kind == "quiesce" and "ns" in fields:
+            self.metrics.histogram("dsu.quiescence_wait_ns") \
+                .observe(fields["ns"])
+        if kind == "xform" and "ns" in fields:
+            self.metrics.histogram("dsu.xform_ns").observe(fields["ns"])
+
+    def on_control(self, kind: str, at: int, version: str) -> None:
+        """A promote/demote control event entered the ring stream."""
+        self.emit(f"control.{kind}", "mve", at=at, version=version)
+        self.metrics.counter(f"control.{kind}").inc()
+
+    # -- reporting ----------------------------------------------------------
+
+    def kind_tally(self) -> Dict[str, int]:
+        """Event counts per kind (for summaries and tests)."""
+        return dict(_TallyCounter(event.kind for event in self.events))
+
+    def to_jsonl_lines(self) -> List[str]:
+        """The full trace as JSONL lines (header, events, metrics)."""
+        lines = [json.dumps({"schema": TRACE_SCHEMA,
+                             "experiment": self.experiment,
+                             "events": len(self.events)})]
+        lines.extend(json.dumps(event.as_dict()) for event in self.events)
+        lines.append(json.dumps({"at": self.vnow, "kind": "metrics.snapshot",
+                                 "layer": "obs",
+                                 "metrics": self.metrics.snapshot()}))
+        return lines
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the trace to ``path`` (one JSON object per line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.to_jsonl_lines():
+                handle.write(line + "\n")
+
+
+# ---------------------------------------------------------------------------
+# The active (global) tracer
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the active tracer; kernels and engines built while
+    it is installed pick it up automatically."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Clear the active tracer; returns the one that was installed."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The active tracer, or None (the zero-cost default)."""
+    return _ACTIVE
+
+
+class tracing:
+    """Context manager: install a tracer for the duration of a block."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (used by tests and the CI trace-smoke job)
+# ---------------------------------------------------------------------------
+
+def validate_trace_lines(lines: List[str]) -> List[str]:
+    """Check JSONL trace lines against ``repro-trace/1``.
+
+    Returns a list of problems (empty means valid): a header with the
+    right schema id, events carrying integer ``at`` plus non-empty
+    ``kind``/``layer`` strings, and a final metrics snapshot.
+    """
+    problems: List[str] = []
+    if not lines:
+        return ["trace is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"line 1: not JSON ({exc})"]
+    if header.get("schema") != TRACE_SCHEMA:
+        problems.append(f"line 1: schema is {header.get('schema')!r}, "
+                        f"expected {TRACE_SCHEMA!r}")
+    if len(lines) < 2:
+        problems.append("trace has no metrics snapshot line")
+        return problems
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {index}: not JSON ({exc})")
+            continue
+        at = event.get("at")
+        if not isinstance(at, int):
+            problems.append(f"line {index}: 'at' is {at!r}, expected int")
+        kind = event.get("kind")
+        if not isinstance(kind, str) or not kind:
+            problems.append(f"line {index}: missing 'kind'")
+        layer = event.get("layer")
+        if not isinstance(layer, str) or not layer:
+            problems.append(f"line {index}: missing 'layer'")
+    try:
+        last = json.loads(lines[-1])
+    except ValueError:
+        last = {}
+    if last.get("kind") != "metrics.snapshot":
+        problems.append("last line is not a metrics.snapshot")
+    elif not isinstance(last.get("metrics"), dict):
+        problems.append("metrics.snapshot carries no metrics dict")
+    return problems
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Validate a JSONL trace file; returns a list of problems."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    return validate_trace_lines(lines)

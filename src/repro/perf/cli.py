@@ -45,9 +45,13 @@ def perf_main(argv: Optional[Iterable[str]] = None) -> int:
                             repeat=args.repeat)
     print("repro perf: virtual requests simulated per wall-clock second")
     print(format_table(
-        ["scenario", "ops", "wall s", "vreq/s", "syscalls/s"],
+        ["scenario", "ops", "wall s", "vreq/s", "syscalls/s",
+         "ring hwm", "stalls"],
         [[r.name, r.ops, f"{r.wall_s:.3f}", f"{r.vreq_per_s:,.0f}",
-          f"{r.syscalls_per_s:,.0f}"] for r in results]))
+          f"{r.syscalls_per_s:,.0f}",
+          "-" if r.ring_high_watermark is None else r.ring_high_watermark,
+          "-" if r.ring_stalls is None else r.ring_stalls]
+         for r in results]))
     if args.json:
         write_bench_json(results, args.out, quick=args.quick)
         print(f"wrote {args.out}")

@@ -3,8 +3,10 @@
 Wall-clock numbers are machine-dependent; the value of this file is the
 *trajectory*: the same scenarios, run on the same machine across PRs,
 must not regress.  ``BENCH_perf.json`` maps each scenario name to
-``{wall_s, vreq_per_s, syscalls_per_s}`` (plus a ``_meta`` entry that
-records how the run was parameterized).
+``{wall_s, vreq_per_s, syscalls_per_s}`` — plus, for scenarios that run
+a real ring buffer, the deterministic pressure gauges
+``ring_high_watermark`` and ``ring_stalls`` — and a ``_meta`` entry
+that records how the run was parameterized.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.perf.scenarios import SCENARIOS, Scenario
 
 #: BENCH_perf.json schema identifier (bump on shape changes).
-SCHEMA = "repro-perf/1"
+SCHEMA = "repro-perf/2"
 
 
 @dataclass
@@ -31,6 +33,11 @@ class BenchResult:
     wall_s: float
     vrequests: int
     syscalls: int
+    #: Peak ring occupancy over the run; None for scenarios without a
+    #: ring (the pure rule-engine streams).
+    ring_high_watermark: Optional[int] = None
+    #: How often a full ring stalled the leader (BufferFull waits).
+    ring_stalls: Optional[int] = None
 
     @property
     def vreq_per_s(self) -> float:
@@ -49,10 +56,13 @@ def run_scenario(scenario: Scenario, ops: int, *,
     for _ in range(max(1, repeat)):
         thunk = scenario.build(ops)
         start = time.perf_counter()
-        vrequests, syscalls = thunk()
+        vrequests, syscalls, extras = thunk()
         wall = time.perf_counter() - start
         result = BenchResult(scenario.name, scenario.description, ops,
-                             wall, vrequests, syscalls)
+                             wall, vrequests, syscalls,
+                             ring_high_watermark=extras.get(
+                                 "ring_high_watermark"),
+                             ring_stalls=extras.get("ring_stalls"))
         if best is None or result.wall_s < best.wall_s:
             best = result
     return best
@@ -81,11 +91,16 @@ def to_bench_dict(results: List[BenchResult], *, quick: bool = False) -> Dict:
     """The BENCH_perf.json payload: scenario -> metrics, plus ``_meta``."""
     payload: Dict[str, Dict] = {}
     for result in results:
-        payload[result.name] = {
+        entry = {
             "wall_s": round(result.wall_s, 6),
             "vreq_per_s": round(result.vreq_per_s, 1),
             "syscalls_per_s": round(result.syscalls_per_s, 1),
         }
+        if result.ring_high_watermark is not None:
+            entry["ring_high_watermark"] = result.ring_high_watermark
+        if result.ring_stalls is not None:
+            entry["ring_stalls"] = result.ring_stalls
+        payload[result.name] = entry
     payload["_meta"] = {
         "schema": SCHEMA,
         "quick": quick,

@@ -2,9 +2,11 @@
 
 Each scenario separates *setup* (building kernels, servers, rule sets —
 untimed) from the *measured thunk* (the request or record loop — timed
-by the harness).  Thunks return ``(virtual_requests, syscalls)`` so the
-harness can normalise wall time into virtual-requests-per-second and
-syscalls-per-second.
+by the harness).  Thunks return ``(virtual_requests, syscalls, extras)``
+so the harness can normalise wall time into virtual-requests-per-second
+and syscalls-per-second; ``extras`` carries scenario-specific gauges
+(ring high-watermark and BufferFull stall count for scenarios that run
+a real ring buffer, empty for the stream scenarios).
 
 Scenario catalogue:
 
@@ -50,8 +52,9 @@ from repro.syscalls.model import Sys, SyscallRecord, read_record, write_record
 from repro.workloads import VirtualClient
 from repro.workloads.memtier import MemtierSpec
 
-#: A measured thunk: run the workload, return (virtual_requests, syscalls).
-Thunk = Callable[[], Tuple[int, int]]
+#: A measured thunk: run the workload, return
+#: (virtual_requests, syscalls, extras).
+Thunk = Callable[[], Tuple[int, int, Dict[str, int]]]
 
 
 @dataclass(frozen=True)
@@ -116,7 +119,9 @@ def full_vsftpd_catalog() -> RuleSet:
         for rule in vsftpd_rules(old, new).rules:
             # Rule names must stay unique across pairs.
             rules.add(RewriteRule(f"{old}-{new}/{rule.name}", rule.pattern,
-                                  rule.action, rule.direction, rule.ast))
+                                  rule.action, rule.direction, rule.ast,
+                                  trace_tag=rule.trace_tag,
+                                  suppresses=rule.suppresses))
     return rules
 
 
@@ -135,19 +140,26 @@ def _redis_runtime() -> Tuple[VirtualKernel, VaranRuntime, VirtualClient]:
 
 
 def _command_loop(runtime, client, commands) -> Thunk:
-    def thunk() -> Tuple[int, int]:
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
         now = 0
         handled = 0
         for command in commands:
             _, now = client.request(runtime, command, now + 1)
             handled += 1
-        return handled, _total_syscalls(runtime)
+        return handled, _total_syscalls(runtime), _ring_extras(runtime)
     return thunk
 
 
 def _total_syscalls(runtime) -> int:
     inner = getattr(runtime, "runtime", runtime)  # Mvedsua wraps VaranRuntime
     return inner.total_syscalls
+
+
+def _ring_extras(runtime) -> Dict[str, int]:
+    """Ring pressure gauges for scenarios that run a real ring buffer."""
+    inner = getattr(runtime, "runtime", runtime)
+    return {"ring_high_watermark": inner.ring.high_watermark,
+            "ring_stalls": inner.ring_stalls}
 
 
 def build_single_leader(ops: int) -> Thunk:
@@ -162,10 +174,10 @@ def build_mve_follower(ops: int) -> Thunk:
     commands = list(MemtierSpec().commands(ops, protocol="redis", seed=12))
     loop = _command_loop(runtime, client, commands)
 
-    def thunk() -> Tuple[int, int]:
-        handled, syscalls = loop()
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        handled, syscalls, _ = loop()
         runtime.drain_follower()
-        return handled, syscalls
+        return handled, syscalls, _ring_extras(runtime)
     return thunk
 
 
@@ -197,12 +209,13 @@ def build_ring_sweep(capacity: int) -> Callable[[int], Thunk]:
         runtime.fork_follower(0)
         commands = [b"PUT k%d v%d\r\n" % (i % 512, i) for i in range(ops)]
 
-        def thunk() -> Tuple[int, int]:
+        def thunk() -> Tuple[int, int, Dict[str, int]]:
             now = 0
             for command in commands:
                 _, now = client.request(runtime, command, now + 1)
             runtime.drain_follower()
-            return len(commands), runtime.total_syscalls
+            return len(commands), runtime.total_syscalls, \
+                _ring_extras(runtime)
         return thunk
     return build
 
@@ -250,7 +263,7 @@ def _vsftpd_stream(n_records: int) -> List[SyscallRecord]:
 
 def _engine_stream_thunk(rules: List[RewriteRule],
                          records: List[SyscallRecord]) -> Thunk:
-    def thunk() -> Tuple[int, int]:
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
         engine = RuleEngine(rules)
         out = 0
         for record in records:
@@ -262,7 +275,7 @@ def _engine_stream_thunk(rules: List[RewriteRule],
         while engine.has_ready():
             engine.next_expected()
             out += 1
-        return len(records), out
+        return len(records), out, {}
     return thunk
 
 

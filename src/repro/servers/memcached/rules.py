@@ -32,8 +32,10 @@ def memcached_rules(old: str, new: str) -> RuleSet:
     """The rule set for updating ``old`` -> ``new``."""
     rules = RuleSet()
     if (old, new) == ("1.2.4", "1.2.5"):
-        rules.add(suppress_reply("noreply_suppress", _has_noreply))
-        rules.add(tolerate_extra_reply("noreply_tolerate", _has_noreply))
+        rules.add(suppress_reply("noreply_suppress", _has_noreply,
+                                 trace_tag="memcached-noreply"))
+        rules.add(tolerate_extra_reply("noreply_tolerate", _has_noreply,
+                                       trace_tag="memcached-noreply"))
     return rules
 
 

@@ -11,6 +11,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.trace import current_tracer
 
 #: Number of virtual nanoseconds per virtual second.
 NANOS_PER_SECOND = 1_000_000_000
@@ -48,6 +49,9 @@ class Engine:
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._running = False
+        #: Observability hook: the active tracer at construction time.
+        #: None (the default) keeps the dispatch loop tracer-free.
+        self.tracer = current_tracer()
 
     @property
     def now(self) -> int:
@@ -100,6 +104,8 @@ class Engine:
                     break
                 heapq.heappop(self._queue)
                 self._now = when
+                if self.tracer is not None:
+                    self.tracer.on_sim_event(when, len(self._queue))
                 callback()
             if until is not None and until > self._now:
                 self._now = until

@@ -12,6 +12,7 @@ The single app ``badkv`` plants one defect per analyzer:
 * an entry-dropping transformer      → transform,     MVE302 (ERROR)
 * release ``3`` with no transformer
   edge reaching it                   → update paths,  MVE401 + MVE403
+* an untagged reply-suppressing rule → trace lint,    MVE501 (WARNING)
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ rule broad outdated-leader:
     read(fd, s) where startswith(s, "PUT") => read(fd, "bad-cmd\r\n")
 rule narrow outdated-leader:
     read(fd, s) where startswith(s, "PUT-") => read(fd, "never\r\n")
+rule quiet_set outdated-leader:
+    read(fd, s), write(fd2, r) where startswith(s, "SET") => read(fd, s)
 '''
 
 

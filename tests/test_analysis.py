@@ -415,6 +415,7 @@ class TestCatalogAndCli:
         assert "MVE302" in per_analyzer["transform"]
         assert "MVE401" in per_analyzer["paths"]
         assert "MVE403" in per_analyzer["paths"]
+        assert "MVE501" in per_analyzer["trace"]
 
     def test_cli_default_catalog_exits_zero(self, capsys):
         assert lint_main(["--json"]) == 0
@@ -429,7 +430,7 @@ class TestCatalogAndCli:
         assert payload["ok"] is False
         found = {f["code"] for f in payload["findings"]}
         assert {"MVE102", "MVE201", "MVE302", "MVE401",
-                "MVE403"} <= found
+                "MVE403", "MVE501"} <= found
 
     def test_cli_app_filter(self, capsys):
         assert lint_main(["--json", "--app", "vsftpd"]) == 0

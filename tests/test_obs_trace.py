@@ -1,0 +1,190 @@
+"""repro.obs.trace / repro.obs.metrics: the tracer and its registry."""
+
+import json
+
+import pytest
+
+from repro.mve.events import ControlEvent, ControlKind
+from repro.obs import (
+    MetricsRegistry,
+    TRACE_SCHEMA,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+    validate_trace_lines,
+)
+from repro.obs.trace import jsonable
+from repro.servers.kvstore import KVStoreV2, kv_rules
+from repro.sim.engine import SECOND
+
+
+# -- core emission ----------------------------------------------------------
+
+def test_emit_stamps_and_advances_virtual_time():
+    tracer = Tracer(experiment="t")
+    tracer.emit("a", "sim", at=10)
+    assert tracer.vnow == 10
+    # No explicit timestamp: reuse the last advanced time.
+    event = tracer.emit("b", "sim")
+    assert event.at == 10
+    # Time never moves backwards.
+    tracer.advance(5)
+    assert tracer.vnow == 10
+    tracer.emit("c", "sim", at=30)
+    assert tracer.vnow == 30
+
+
+def test_kind_tally_counts_events():
+    tracer = Tracer()
+    tracer.emit("x", "sim")
+    tracer.emit("x", "sim")
+    tracer.emit("y", "mve")
+    assert tracer.kind_tally() == {"x": 2, "y": 1}
+
+
+def test_jsonable_handles_bytes_enums_and_containers():
+    assert jsonable(b"GET a\r\n") == "GET a\\r\\n"
+    assert jsonable(ControlKind.PROMOTE) == "promote"
+    assert jsonable((1, b"x")) == [1, "x"]
+    assert jsonable({"k": b"v"}) == {"k": "v"}
+    assert jsonable(None) is None
+    # Fallback: objects without a JSON form are repr()ed, never raise.
+    assert "object" in jsonable(object())
+
+
+# -- metrics registry -------------------------------------------------------
+
+def test_metrics_counter_gauge_histogram():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(7)
+    registry.gauge("g").set(3)
+    registry.histogram("h").observe(10)
+    registry.histogram("h").observe(20)
+
+    snapshot = registry.snapshot()
+    assert snapshot["c"] == {"type": "counter", "value": 5}
+    assert snapshot["g"] == {"type": "gauge", "value": 3, "max": 7}
+    assert snapshot["h"]["count"] == 2
+    assert snapshot["h"]["total"] == 30
+    assert snapshot["h"]["min"] == 10
+    assert snapshot["h"]["max"] == 20
+    assert snapshot["h"]["mean"] == 15.0
+
+
+def test_metrics_name_is_bound_to_one_type():
+    registry = MetricsRegistry()
+    registry.counter("name")
+    with pytest.raises(TypeError):
+        registry.gauge("name")
+
+
+# -- the active tracer ------------------------------------------------------
+
+def test_install_and_uninstall_tracer():
+    assert current_tracer() is None
+    tracer = install_tracer(Tracer())
+    try:
+        assert current_tracer() is tracer
+    finally:
+        assert uninstall_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_tracing_context_manager_restores_previous():
+    outer, inner = Tracer(), Tracer()
+    with tracing(outer):
+        with tracing(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+    assert current_tracer() is None
+
+
+def test_attach_binds_tracer_to_kernel(kernel):
+    tracer = Tracer().attach(kernel)
+    assert kernel.tracer is tracer
+
+
+# -- JSONL schema -----------------------------------------------------------
+
+def test_jsonl_round_trip_is_schema_valid():
+    tracer = Tracer(experiment="unit")
+    tracer.emit("syscall", "mve", at=1, name="read")
+    tracer.metrics.counter("syscalls.total").inc()
+    lines = tracer.to_jsonl_lines()
+
+    assert validate_trace_lines(lines) == []
+    header = json.loads(lines[0])
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["experiment"] == "unit"
+    assert header["events"] == 1
+    last = json.loads(lines[-1])
+    assert last["kind"] == "metrics.snapshot"
+    assert last["metrics"]["syscalls.total"]["value"] == 1
+
+
+def test_validate_trace_lines_flags_problems():
+    assert validate_trace_lines([]) == ["trace is empty"]
+    assert any("schema" in problem for problem in validate_trace_lines(
+        ['{"schema": "bogus/9"}', '{"kind": "metrics.snapshot", '
+         '"at": 0, "layer": "obs", "metrics": {}}']))
+    # Non-integer 'at' and a missing final snapshot both surface.
+    lines = [json.dumps({"schema": TRACE_SCHEMA, "experiment": "",
+                         "events": 1}),
+             json.dumps({"at": "soon", "kind": "x", "layer": "sim"})]
+    problems = validate_trace_lines(lines)
+    assert any("'at'" in problem for problem in problems)
+    assert any("metrics.snapshot" in problem for problem in problems)
+
+
+def test_write_jsonl_and_validate_file(tmp_path):
+    from repro.obs import validate_trace_file
+    tracer = Tracer(experiment="file")
+    tracer.emit("x", "sim", at=2)
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(str(path))
+    assert validate_trace_file(str(path)) == []
+
+
+# -- end-to-end through the stack -------------------------------------------
+
+def test_attached_tracer_sees_the_whole_lifecycle(kernel, mvedsua, client):
+    tracer = Tracer(experiment="lifecycle").attach(kernel)
+    client.command(mvedsua, b"PUT balance 1000")
+    mvedsua.request_update(KVStoreV2(), SECOND, rules=kv_rules())
+    client.command(mvedsua, b"GET balance", now=2 * SECOND)
+    mvedsua.promote(3 * SECOND)
+    client.command(mvedsua, b"GET balance", now=4 * SECOND)
+    mvedsua.finalize(5 * SECOND)
+
+    kinds = set(tracer.kind_tally())
+    assert {"syscall", "ring.publish", "ring.replay",
+            "divergence.check", "dsu.request", "dsu.applied",
+            "control.promote"} <= kinds
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["syscalls.total"]["value"] > 0
+    assert snapshot["divergence.checks"]["value"] > 0
+    assert "ring.occupancy" in snapshot
+    # The whole trace is timestamped in virtual nanoseconds.
+    assert all(event.at >= 0 for event in tracer.events)
+    assert validate_trace_lines(tracer.to_jsonl_lines()) == []
+
+
+# -- satellite: virtual timestamps on events and errors ---------------------
+
+def test_control_event_describe_legacy_form():
+    assert ControlEvent(ControlKind.PROMOTE).describe() == "<control:promote>"
+    assert ControlEvent(ControlKind.TERMINATE).describe() == \
+        "<control:terminate>"
+
+
+def test_control_event_describe_carries_time_and_version():
+    event = ControlEvent(ControlKind.PROMOTE, at=7 * SECOND, version="v2")
+    assert event.describe() == f"<control:promote at={7 * SECOND} by=v2>"
+    assert ControlEvent(ControlKind.PROMOTE, at=3).describe() == \
+        "<control:promote at=3>"
+    assert ControlEvent(ControlKind.PROMOTE, version="v1").describe() == \
+        "<control:promote by=v1>"
