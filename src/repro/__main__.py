@@ -12,6 +12,7 @@
     python -m repro lint          # mvelint: static rule/transformer checks
     python -m repro perf          # wall-clock benchmark of the simulator
     python -m repro trace fig6    # traced semantic companion run
+    python -m repro chaos kvstore # fault-injection campaign + invariants
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
@@ -60,16 +61,22 @@ def main(argv=None) -> int:
         # so does the tracer.
         from repro.obs.cli import trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # and the chaos campaign runner.
+        from repro.chaos.cli import chaos_main
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all", "lint", "perf",
+                        choices=sorted(_COMMANDS) + ["all", "chaos",
+                                                     "lint", "perf",
                                                      "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'perf' the "
                              "wall-clock benchmark harness; 'trace' a "
-                             "traced semantic companion)")
+                             "traced semantic companion; 'chaos' a "
+                             "fault-injection campaign)")
     parser.add_argument("--trace", metavar="PATH", dest="trace_path",
                         help="run with the structured tracer installed "
                              "and write a JSONL trace to PATH afterwards")

@@ -13,13 +13,18 @@ divergences or corrupted heaps:
 * :mod:`repro.analysis.transform_audit` — key drops, type changes,
   input aliasing, non-determinism in state transformers (MVE3xx);
 * :mod:`repro.analysis.paths` — missing transformers/rule sets and
-  unreachable versions in the update graph (MVE4xx).
+  unreachable versions in the update graph (MVE4xx);
+* :mod:`repro.analysis.trace_lint` — suppressing rules with no
+  forensic trace tag (MVE5xx);
+* :mod:`repro.analysis.chaos_lint` — fault plans referencing unknown
+  injection sites, illegal fault kinds, or malformed triggers (MVE6xx).
 
 Run it via ``python -m repro lint [--json] [--app APP]``; see
 ``docs/linting.md`` for the finding codes and CI gating.
 """
 
 from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
+from repro.analysis.chaos_lint import lint_fault_plan, lint_fault_plans
 from repro.analysis.coverage import check_coverage
 from repro.analysis.findings import Finding, LintReport, Severity
 from repro.analysis.paths import audit_paths
@@ -36,6 +41,8 @@ __all__ = [
     "audit_transforms",
     "check_coverage",
     "default_catalog",
+    "lint_fault_plan",
+    "lint_fault_plans",
     "lint_main",
     "lint_rules",
     "load_catalog",

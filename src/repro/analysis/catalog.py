@@ -1,6 +1,6 @@
 """The app catalog mvelint runs over.
 
-An :class:`AppConfig` bundles everything the five analyzers need for one
+An :class:`AppConfig` bundles everything the analyzers need for one
 application: its version registry, transformer registry, rule-set
 factory, seed traffic for building synthetic heaps, and an allowlist of
 findings the app deliberately accepts (each with a justification below).
@@ -37,6 +37,9 @@ class AppConfig:
     #: Requests replayed through ``handle()`` to populate synthetic
     #: heaps for the transformer audit.
     seed_requests: Tuple[bytes, ...] = ()
+    #: Zero-argument factories returning the app's chaos
+    #: :class:`~repro.chaos.plan.FaultPlan` values, linted by MVE6xx.
+    fault_plans: Tuple[Callable[[], object], ...] = ()
     #: ``(code, location_substring)`` pairs of accepted findings; keep a
     #: comment next to each entry saying *why* it is acceptable.
     allow: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
@@ -52,6 +55,17 @@ def _kvstore_config() -> AppConfig:
             return kv_rules_from_dsl()
         return RuleSet()
 
+    def campaign_plan():
+        # A representative slice of the campaign grid: the two faults
+        # whose recovery the kvstore scenario's report pins.
+        from repro.chaos.plan import Fault, FaultPlan, on_call
+        from repro.chaos.scenarios import buggy_v2_factory
+        return FaultPlan("kvstore-campaign", (
+            Fault("dsu.update", "buggy-version", on_call(1),
+                  param={"factory": buggy_v2_factory}),
+            Fault("mve.follower", "corrupt-record", on_call(2)),
+        ))
+
     return AppConfig(
         name="kvstore",
         versions=kvstore_registry(),
@@ -59,6 +73,7 @@ def _kvstore_config() -> AppConfig:
         rules_for=rules_for,
         seed_requests=(b"PUT alpha one", b"PUT beta two",
                        b"PUT gamma three"),
+        fault_plans=(campaign_plan,),
         allow=(
             # §3.3.2: after promotion the new leader executes commands
             # the old follower cannot mirror; the follower diverges and
@@ -76,6 +91,10 @@ def _redis_config() -> AppConfig:
     from repro.servers.redis.transforms import redis_transforms
     from repro.servers.redis.versions import redis_registry
 
+    def e1_plan():
+        from repro.chaos.plans import e1_new_code_plan
+        return e1_new_code_plan()
+
     return AppConfig(
         name="redis",
         versions=redis_registry(),
@@ -83,6 +102,7 @@ def _redis_config() -> AppConfig:
         rules_for=redis_rules,
         seed_requests=(b"SET alpha one", b"SET beta two",
                        b"SET gamma three"),
+        fault_plans=(e1_plan,),
     )
 
 
@@ -107,6 +127,15 @@ def _memcached_config() -> AppConfig:
     from repro.servers.memcached.transforms import memcached_transforms
     from repro.servers.memcached.versions import memcached_registry
 
+    def e2_plan():
+        from repro.chaos.plans import e2_transform_plan
+        return e2_transform_plan()
+
+    def e3_plan():
+        import random
+        from repro.chaos.plans import e3_timing_plan
+        return e3_timing_plan(random.Random(1))
+
     return AppConfig(
         name="memcached",
         versions=memcached_registry(),
@@ -114,6 +143,7 @@ def _memcached_config() -> AppConfig:
         rules_for=memcached_rules,
         seed_requests=(b"set alpha 0 0 3\r\none",
                        b"set beta 0 0 3\r\ntwo"),
+        fault_plans=(e2_plan, e3_plan),
     )
 
 

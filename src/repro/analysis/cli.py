@@ -1,6 +1,6 @@
 """The ``python -m repro lint`` entry point.
 
-Runs all five mvelint analyzers over an app catalog and prints either a
+Runs all six mvelint analyzers over an app catalog and prints either a
 human-readable report or machine-readable JSON (``--json``) whose shape
 is documented in ``docs/linting.md``.  The exit status is 0 when no
 non-allowlisted ERROR finding exists, 1 otherwise — CI gates on it.
@@ -12,6 +12,7 @@ import argparse
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
+from repro.analysis.chaos_lint import lint_fault_plans
 from repro.analysis.coverage import check_coverage
 from repro.analysis.findings import LintReport, Severity
 from repro.analysis.paths import audit_paths
@@ -49,6 +50,7 @@ def run_app(config: AppConfig) -> LintReport:
                                      ruleset))
     report.extend(audit_transforms(app, config.versions, config.transforms,
                                    config.seed_requests))
+    report.extend(lint_fault_plans(app, config.fault_plans))
     report.apply_allowlist(app, config.allow)
     return report
 

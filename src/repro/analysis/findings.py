@@ -12,6 +12,7 @@ MVE2xx coverage cross-check (:mod:`repro.analysis.coverage`)
 MVE3xx state-transformer audit (:mod:`repro.analysis.transform_audit`)
 MVE4xx update-path audit (:mod:`repro.analysis.paths`)
 MVE5xx trace-annotation lint (:mod:`repro.analysis.trace_lint`)
+MVE6xx fault-plan lint (:mod:`repro.analysis.chaos_lint`)
 ====== ==========================================================
 """
 

@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.bench.reporting import format_table
+from repro.chaos import ChaosInjector, chaos_active
+from repro.chaos.plans import e1_new_code_plan, e2_transform_plan, \
+    e3_timing_plan
 from repro.core import Mvedsua, RetryPolicy, Stage
 from repro.dsu import Kitsune
-from repro.dsu.program import ThreadState
-from repro.dsu.transform import TransformRegistry
 from repro.errors import ServerCrash
 from repro.net import VirtualKernel
 from repro.servers.memcached import (
@@ -34,7 +35,6 @@ from repro.servers.memcached import (
     MemcachedServer,
     memcached_transforms,
     memcached_version,
-    xform_free_libevent,
 )
 from repro.servers.native import NativeRuntime
 from repro.servers.redis import (
@@ -77,8 +77,12 @@ def run_e1() -> List[FaultOutcome]:
                             with_kitsune=True)
     client = VirtualClient(kernel, server.address)
     client.command(runtime, b"SET wrongtype value")
-    runtime.apply_update(Kitsune(redis_transforms()),
-                         redis_version("2.0.1", hmget_bug=True), SECOND)
+    # The operator requests a clean 2.0.1; the fault plan swaps in the
+    # build with revision 7fb16bac's HMGET bug.
+    with chaos_active(ChaosInjector(e1_new_code_plan())):
+        runtime.apply_update(Kitsune(redis_transforms()),
+                             redis_version("2.0.1", hmget_bug=False),
+                             SECOND)
     crashed = False
     try:
         client.command(runtime, b"HMGET wrongtype f", now=2 * SECOND)
@@ -101,8 +105,10 @@ def run_e1() -> List[FaultOutcome]:
                       transforms=redis_transforms())
     client = VirtualClient(kernel, server.address)
     client.command(mvedsua, b"SET wrongtype value")
-    mvedsua.request_update(redis_version("2.0.1", hmget_bug=True),
-                           SECOND, rules=redis_rules("2.0.0", "2.0.1"))
+    with chaos_active(ChaosInjector(e1_new_code_plan())):
+        mvedsua.request_update(redis_version("2.0.1", hmget_bug=False),
+                               SECOND,
+                               rules=redis_rules("2.0.0", "2.0.1"))
     reply = client.command(mvedsua, b"HMGET wrongtype f", now=2 * SECOND)
     follow_up = client.command(mvedsua, b"GET wrongtype", now=3 * SECOND)
     outcomes.append(FaultOutcome(
@@ -132,18 +138,18 @@ def _memcached_with_clients(client_count: int):
 
 def run_e2(client_count: int = MANY_CLIENTS_THRESHOLD + 2
            ) -> List[FaultOutcome]:
-    buggy = TransformRegistry()
-    buggy.register("memcached", "1.2.2", "1.2.3", xform_free_libevent)
     outcomes = []
 
-    # Kitsune alone: the buggy transformer installs a time bomb.
+    # Kitsune alone: the fault plan swaps in the transformer that frees
+    # LibEvent state — a time bomb armed by enough connected clients.
     kernel, server, clients = _memcached_with_clients(client_count)
     runtime = NativeRuntime(kernel, server, PROFILES["memcached"],
                             with_kitsune=True)
     for index, client in enumerate(clients):
         client.command(runtime, b"set k%d 0 0 1\r\nv" % index)
-    runtime.apply_update(Kitsune(buggy), memcached_version("1.2.3"),
-                         SECOND)
+    with chaos_active(ChaosInjector(e2_transform_plan())):
+        runtime.apply_update(Kitsune(memcached_transforms()),
+                             memcached_version("1.2.3"), SECOND)
     crashed = False
     try:
         clients[0].command(runtime, b"get k0", now=2 * SECOND)
@@ -156,10 +162,11 @@ def run_e2(client_count: int = MANY_CLIENTS_THRESHOLD + 2
     # Mvedsua: the crash happens on the follower during catch-up.
     kernel, server, clients = _memcached_with_clients(client_count)
     mvedsua = Mvedsua(kernel, server, PROFILES["memcached"],
-                      transforms=buggy)
+                      transforms=memcached_transforms())
     for index, client in enumerate(clients):
         client.command(mvedsua, b"set k%d 0 0 1\r\nv" % index)
-    mvedsua.request_update(memcached_version("1.2.3"), SECOND)
+    with chaos_active(ChaosInjector(e2_transform_plan())):
+        mvedsua.request_update(memcached_version("1.2.3"), SECOND)
     reply = clients[0].command(mvedsua, b"get k0", now=2 * SECOND)
     outcomes.append(FaultOutcome(
         "E2 state-transform error", "mvedsua",
@@ -247,20 +254,13 @@ def run_e3(trials: int = 31, seed: int = 1,
         server.attach(kernel)
         mvedsua = Mvedsua(kernel, server, PROFILES["memcached"],
                           transforms=memcached_transforms())
-
-        def racy_prepare(target, rng=rng):
-            threads = [ThreadState("main")]
-            blocked = rng.random() < failure_probability
-            threads.append(ThreadState("worker-0",
-                                       blocked_on_lock=blocked))
-            for index in range(1, 4):
-                threads.append(ThreadState(f"worker-{index}",
-                                           inside_event_loop=True))
-            target.program.threads = threads
-
-        attempts = mvedsua.request_update_with_retry(
-            memcached_version("1.2.3"), SECOND, prepare=racy_prepare,
-            policy=policy)
+        # The timing fault races every quiesce attempt: with
+        # failure_probability a worker is caught holding a lock, so the
+        # attempt fails and the policy retries after its 500 ms wait.
+        plan = e3_timing_plan(rng, failure_probability)
+        with chaos_active(ChaosInjector(plan)):
+            attempts = mvedsua.request_update_with_retry(
+                memcached_version("1.2.3"), SECOND, policy=policy)
         result.trials.append(RetryTrial(retries=len(attempts) - 1,
                                         installed=attempts[-1].ok))
     return result

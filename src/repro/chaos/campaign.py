@@ -1,0 +1,307 @@
+"""The chaos campaign runner.
+
+A campaign enumerates a grid of single-fault cells over the scenario's
+injection sites — every reachable ``on-call`` index plus ``at-stage``,
+``at-time`` and predicate triggers — runs the scenario once per cell
+under a fresh :class:`~repro.chaos.injector.ChaosInjector`, and
+classifies each run against a fault-free golden baseline:
+
+``masked``
+    clients saw behaviour identical to the fault-free run (including
+    cells whose trigger never fired);
+``recovered-demotion``
+    the leader crashed and the follower was promoted — §3.2's "the new
+    version fixes an old-version bug" path, inverted or not;
+``recovered-rollback``
+    the update was rolled back (divergence, follower crash, or a cleanly
+    aborted update) and the old version served throughout;
+``availability-loss``
+    at least one client lost service — an honest outage, but no lie;
+``invariant-violation``
+    the response stream or final state broke the
+    :mod:`~repro.chaos.invariants` model — the only unacceptable
+    outcome, and the one MVEDSUA's design argues cannot happen.
+
+The report (schema ``repro-chaos/1``) is deterministic: same seed and
+grid → bit-identical JSON, which the regression suite pins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.injector import ChaosInjector, chaos_active
+from repro.chaos.invariants import check_run
+from repro.chaos.plan import (SITES, STAGE_NAMES, Fault, FaultPlan, at_stage,
+                              at_time, on_call, when)
+from repro.chaos.scenarios import ChaosRunResult, buggy_v2_factory, \
+    run_kv_update_scenario
+from repro.errors import SimulationError
+from repro.servers.kvstore import xform_drop_table
+
+CHAOS_SCHEMA = "repro-chaos/1"
+
+#: The outcome taxonomy, from benign to broken.
+OUTCOMES = ("masked", "recovered-demotion", "recovered-rollback",
+            "availability-loss", "invariant-violation")
+
+#: Upper bound on per-(site, kind) ``on-call`` indices in the default
+#: grid, so a chattier scenario cannot explode the sweep.
+ONCALL_CAP = 24
+
+#: (site, kind) pairs that fire during normal serving — swept again under
+#: ``at-stage`` and ``at-time`` triggers.  The one-shot ``dsu.*`` sites
+#: are excluded: their single call is fully covered by ``on-call``.
+RUNTIME_SITE_KINDS: Tuple[Tuple[str, str], ...] = tuple(
+    (site, kind)
+    for site in ("kernel.read", "kernel.write", "kernel.accept",
+                 "mve.leader", "mve.follower", "mve.ring")
+    for kind in SITES[site])
+
+#: Virtual times for the ``at-time`` sweep — one per lifecycle phase.
+AT_TIMES = (2_000_000_000, 6_500_000_000, 11_500_000_000, 16_500_000_000)
+
+
+def _param_for(site: str, kind: str, seed: int) -> Dict[str, Any]:
+    """Deterministic fault parameters for one grid cell."""
+    if kind == "short-read":
+        return {"bytes": 5}
+    if kind == "short-write":
+        return {"bytes": 3}
+    if kind == "buggy-version":
+        return {"factory": buggy_v2_factory}
+    if (site, kind) == ("dsu.quiesce", "race"):
+        # probability 1.0 keeps the cell deterministic: the resample
+        # always blocks a worker, so quiescence always fails.
+        return {"rng": random.Random(1_000_003 * seed + 17),
+                "probability": 1.0}
+    if (site, kind) == ("dsu.quiesce", "delay"):
+        # Longer than Mvedsua's 50 ms quiescence budget: a clean abort.
+        return {"delay_ns": 60_000_000}
+    if (site, kind) == ("dsu.transform", "replace"):
+        # A transformer that silently loses the whole table — the E2
+        # fault class, kvstore edition.
+        return {"transformer": xform_drop_table}
+    return {}
+
+
+def default_grid(site_calls: Dict[str, int], seed: int) -> List[Fault]:
+    """The full (site × kind × trigger) sweep for one scenario.
+
+    ``site_calls`` comes from a fault-free probe run and bounds the
+    ``on-call`` index range per site, so every on-call cell is reachable
+    (a count of zero yields no cells for that site).
+    """
+    faults: List[Fault] = []
+
+    def add(site: str, kind: str, trigger) -> None:
+        faults.append(Fault(site, kind, trigger,
+                            param=_param_for(site, kind, seed)))
+
+    for site in ("kernel.read", "kernel.write", "kernel.accept",
+                 "mve.leader", "mve.follower", "mve.ring",
+                 "dsu.update", "dsu.quiesce", "dsu.transform"):
+        calls = min(site_calls.get(site, 0), ONCALL_CAP)
+        for kind in SITES[site]:
+            for index in range(1, calls + 1):
+                add(site, kind, on_call(index))
+    for stage in STAGE_NAMES:
+        for site, kind in RUNTIME_SITE_KINDS:
+            add(site, kind, at_stage(stage))
+    for at_ns in AT_TIMES:
+        for site, kind in RUNTIME_SITE_KINDS:
+            add(site, kind, at_time(at_ns))
+    # Predicate cells: compound conditions no fixed trigger expresses.
+    add("kernel.read", "econnreset",
+        when(lambda ctx: ctx["call_index"] % 5 == 0,
+             label="every 5th read"))
+    add("kernel.read", "econnreset",
+        when(lambda ctx: ctx["stage"] == "updated-leader",
+             label="first read after promote"))
+    add("kernel.write", "epipe",
+        when(lambda ctx: ctx["call_index"] % 7 == 0,
+             label="every 7th write"))
+    add("kernel.write", "epipe",
+        when(lambda ctx: ctx["stage"] == "updated-leader",
+             label="first write after promote"))
+    add("mve.follower", "crash",
+        when(lambda ctx: ctx["at"] >= 7_000_000_000,
+             label="first replay after t=7s"))
+    add("mve.leader", "crash",
+        when(lambda ctx: ctx["call_index"] == 10
+             and ctx["stage"] == "outdated-leader",
+             label="10th iteration while outdated"))
+    return faults
+
+
+def classify(result: ChaosRunResult,
+             golden: ChaosRunResult) -> Tuple[str, str]:
+    """One cell's (outcome, detail) against the fault-free baseline."""
+    problems = check_run(result.observations, result.final_table)
+    if problems:
+        return "invariant-violation", problems[0]
+    if result.service_crashed:
+        return ("availability-loss",
+                "service crashed with no surviving process")
+    disturbed = sorted({obs.client for obs in result.observations
+                        if obs.reply is None})
+    if disturbed:
+        return ("availability-loss",
+                "clients lost service: " + ", ".join(disturbed))
+    if result.promoted_after_crash:
+        return ("recovered-demotion",
+                f"leader crashed; surviving {result.final_version} "
+                f"follower was promoted")
+    if result.rolled_back:
+        reason = ""
+        for _, kind, detail in result.events:
+            if kind == "follower-terminated" and detail != "finalize":
+                reason = detail
+                break
+        return ("recovered-rollback",
+                f"update rolled back ({reason or 'aborted'}); the old "
+                f"version served throughout")
+    if not result.update_ok:
+        return ("recovered-rollback",
+                f"update aborted cleanly: {result.update_reason}")
+    if (result.replies() == golden.replies()
+            and result.final_table == golden.final_table
+            and result.final_version == golden.final_version):
+        if not result.injections:
+            return "masked", "fault never triggered"
+        return ("masked",
+                "client-visible behaviour identical to the fault-free run")
+    return ("invariant-violation",
+            "run diverged from the fault-free baseline without a "
+            "recovery event")
+
+
+def probe_site_calls() -> Dict[str, int]:
+    """Per-site call counts from one fault-free instrumented run."""
+    probe = ChaosInjector(FaultPlan("probe"))
+    with chaos_active(probe):
+        run_kv_update_scenario()
+    return dict(probe.site_calls)
+
+
+def run_cell(plan: FaultPlan) -> ChaosRunResult:
+    """Run the scenario once under ``plan``'s injector."""
+    injector = ChaosInjector(plan)
+    with chaos_active(injector):
+        return run_kv_update_scenario()
+
+
+def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
+                 max_cells: Optional[int] = None,
+                 plan: Optional[FaultPlan] = None) -> Dict[str, Any]:
+    """Run the full campaign and return the ``repro-chaos/1`` report.
+
+    With ``plan`` the campaign runs that single (possibly multi-fault)
+    plan as its only cell instead of the generated grid; ``max_cells``
+    truncates the grid to a deterministic prefix.
+    """
+    if scenario != "kvstore":
+        raise SimulationError(f"unknown chaos scenario: {scenario!r}")
+    golden = run_kv_update_scenario()
+    golden_problems = check_run(golden.observations, golden.final_table)
+    if golden_problems:
+        raise SimulationError(
+            "golden run violates its own invariants: "
+            + golden_problems[0])
+
+    if plan is not None:
+        cells = [(plan.name, plan)]
+    else:
+        grid_faults = default_grid(probe_site_calls(), seed)
+        if max_cells is not None:
+            grid_faults = grid_faults[:max_cells]
+        cells = [(fault.describe(), FaultPlan(fault.describe(), (fault,)))
+                 for fault in grid_faults]
+
+    tally = {outcome: 0 for outcome in OUTCOMES}
+    grid: List[Dict[str, Any]] = []
+    for name, cell_plan in cells:
+        result = run_cell(cell_plan)
+        outcome, detail = classify(result, golden)
+        tally[outcome] += 1
+        first_at = result.injections[0]["at"] if result.injections else None
+        latency = None
+        if first_at is not None and result.recovery_at is not None:
+            latency = max(0, result.recovery_at - first_at)
+        lead = cell_plan.faults[0] if cell_plan.faults else None
+        entry: Dict[str, Any] = {
+            "name": name,
+            "site": lead.site if lead else "",
+            "kind": lead.kind if lead else "",
+            "trigger": lead.trigger.as_dict() if lead else None,
+            "outcome": outcome,
+            "detail": detail,
+            "injections": result.injections,
+            "first_injection_at": first_at,
+            "recovery_latency_ns": latency,
+            "final_version": result.final_version,
+            "update_reason": result.update_reason,
+        }
+        if result.forensics is not None:
+            entry["forensics"] = result.forensics
+        grid.append(entry)
+
+    return {
+        "schema": CHAOS_SCHEMA,
+        "scenario": scenario,
+        "seed": seed,
+        "cells": len(grid),
+        "outcomes": tally,
+        "golden": {
+            "observations": [obs.as_dict()
+                             for obs in golden.observations],
+            "final_table": golden.final_table,
+            "final_version": golden.final_version,
+            "finalized": golden.finalized,
+        },
+        "grid": grid,
+    }
+
+
+def validate_report(payload: Any) -> List[str]:
+    """Structural validation of a ``repro-chaos/1`` report."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["report is not an object"]
+    if payload.get("schema") != CHAOS_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected {CHAOS_SCHEMA!r}")
+    if not isinstance(payload.get("scenario"), str):
+        problems.append("scenario missing or not a string")
+    if not isinstance(payload.get("seed"), int):
+        problems.append("seed missing or not an integer")
+    golden = payload.get("golden")
+    if not isinstance(golden, dict) or "observations" not in golden:
+        problems.append("golden baseline missing")
+    grid = payload.get("grid")
+    if not isinstance(grid, list) or not grid:
+        return problems + ["grid missing or empty"]
+    if payload.get("cells") != len(grid):
+        problems.append(f"cells={payload.get('cells')!r} but the grid "
+                        f"has {len(grid)} entries")
+    recount = {outcome: 0 for outcome in OUTCOMES}
+    for index, entry in enumerate(grid):
+        if not isinstance(entry, dict):
+            problems.append(f"grid[{index}] is not an object")
+            continue
+        for key in ("name", "site", "kind", "trigger", "outcome",
+                    "detail", "injections"):
+            if key not in entry:
+                problems.append(f"grid[{index}] missing {key!r}")
+        outcome = entry.get("outcome")
+        if outcome in recount:
+            recount[outcome] += 1
+        else:
+            problems.append(f"grid[{index}] has unknown outcome "
+                            f"{outcome!r}")
+        if not isinstance(entry.get("injections", []), list):
+            problems.append(f"grid[{index}] injections is not a list")
+    if payload.get("outcomes") != recount:
+        problems.append("outcome tally does not match the grid")
+    return problems

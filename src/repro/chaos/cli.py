@@ -1,0 +1,74 @@
+"""``python -m repro chaos`` — run a fault-injection campaign.
+
+    python -m repro chaos kvstore                 # full grid
+    python -m repro chaos kvstore --max-cells 200 # bounded (CI smoke)
+    python -m repro chaos kvstore --plan my.py    # one custom plan
+    python -m repro chaos kvstore --report out.json
+
+The report is JSON with schema ``repro-chaos/1`` (see
+``docs/chaos.md``); stdout carries the outcome tally.  Exit status is
+non-zero when any cell is classified ``invariant-violation`` or the
+written report fails its own schema validation — so CI can gate on the
+paper's core claim directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.chaos.campaign import OUTCOMES, run_campaign, validate_report
+from repro.chaos.plan import load_plan
+
+
+def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Deterministic fault-injection campaigns with "
+                    "invariant checking.")
+    parser.add_argument("scenario", choices=["kvstore"],
+                        help="which scenario to sweep")
+    parser.add_argument("--plan", metavar="PATH",
+                        help="run one fault plan (a Python file exposing "
+                             "plan()) instead of the generated grid")
+    parser.add_argument("--report", metavar="PATH",
+                        help="where to write the JSON report (default: "
+                             "CHAOS_<scenario>.json)")
+    parser.add_argument("--max-cells", type=int, metavar="N",
+                        help="truncate the grid to its first N cells")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default: 1)")
+    args = parser.parse_args(argv)
+
+    plan = load_plan(args.plan) if args.plan else None
+    report = run_campaign(args.scenario, seed=args.seed,
+                          max_cells=args.max_cells, plan=plan)
+
+    print(f"chaos campaign: {args.scenario} "
+          f"({report['cells']} cells, seed {report['seed']})")
+    print()
+    rows = [[outcome, str(report["outcomes"][outcome])]
+            for outcome in OUTCOMES]
+    print(format_table(["outcome", "cells"], rows))
+    violations = [entry for entry in report["grid"]
+                  if entry["outcome"] == "invariant-violation"]
+    for entry in violations:
+        print(f"  VIOLATION {entry['name']}: {entry['detail']}")
+
+    path = args.report or f"CHAOS_{args.scenario}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote report: {path}")
+
+    problems = validate_report(report)
+    for problem in problems:
+        print(f"  report problem: {problem}", file=sys.stderr)
+    return 1 if violations or problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(chaos_main())

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
+from repro.chaos.injector import current_chaos
 from repro.core.policy import RetryPolicy
 from repro.core.stages import Stage, UpdateTimeline
 from repro.dsu.kitsune import Kitsune
@@ -65,6 +66,14 @@ class Mvedsua:
         self.stage = Stage.SINGLE_LEADER
         self.timeline: Optional[UpdateTimeline] = None
         self.history: List[UpdateTimeline] = []
+        self._note_chaos_stage()
+
+    def _note_chaos_stage(self) -> None:
+        """Tell an attached chaos injector which update stage we are in,
+        so ``at-stage`` fault triggers can resolve."""
+        chaos = self.runtime.kernel.chaos
+        if chaos is not None:
+            chaos.note_stage(self.stage.value)
 
     # ------------------------------------------------------------------
     # Serving
@@ -107,6 +116,18 @@ class Mvedsua:
         if self.stage is not Stage.SINGLE_LEADER:
             raise SimulationError(
                 f"cannot update while in stage {self.stage.value}")
+        chaos = self.runtime.kernel.chaos
+        if chaos is None:
+            # The kernel may predate the injector (experiments install
+            # a plan around just the update call).
+            chaos = current_chaos()
+        if chaos is not None:
+            chaos.advance(now)
+            fault = chaos.fire("dsu.update")
+            if fault is not None:
+                # "buggy-version": the operator ships a broken build —
+                # the E1 fault class.
+                new_version = fault.param["factory"](new_version)
         leader_server = self.runtime.leader.server
         tracer = self.runtime.kernel.tracer
         if tracer is not None:
@@ -161,6 +182,7 @@ class Mvedsua:
         leader_server.program.run_abort_callback()
 
         self.stage = Stage.OUTDATED_LEADER
+        self._note_chaos_stage()
         self.timeline = UpdateTimeline(t1_forked=t1, t2_updated=t2)
         if tracer is not None:
             tracer.on_dsu("xform", t2, ns=xform_ns, entries=entries,
@@ -232,12 +254,14 @@ class Mvedsua:
     def _on_runtime_event(self, event: RuntimeEvent) -> None:
         if event.kind == "promoted":
             self.stage = Stage.UPDATED_LEADER
+            self._note_chaos_stage()
             if self.timeline is not None \
                     and self.timeline.t5_promoted is None:
                 self.timeline.t5_promoted = event.at
         elif event.kind == "follower-terminated":
             self._close_timeline(event)
             self.stage = Stage.SINGLE_LEADER
+            self._note_chaos_stage()
         elif event.kind == "follower-promoted-after-crash":
             # The new version became the sole leader because the old
             # version crashed: the update is now permanent.
@@ -247,6 +271,7 @@ class Mvedsua:
                 self.history.append(self.timeline)
                 self.timeline = None
             self.stage = Stage.SINGLE_LEADER
+            self._note_chaos_stage()
 
     def _close_timeline(self, event: RuntimeEvent) -> None:
         if self.timeline is None:

@@ -14,15 +14,58 @@ abort callback for the leader side.
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.chaos.injector import current_chaos
 from repro.errors import QuiescenceTimeout, StateTransformError
-from repro.dsu.program import UpdatableProgram
+from repro.dsu.program import ThreadState, UpdatableProgram
 from repro.dsu.transform import TransformRegistry
 from repro.dsu.version import ServerVersion
 from repro.obs.trace import current_tracer
+
+
+def _racy_threads(program: UpdatableProgram, param) -> None:
+    """Re-sample thread states as if the update signal raced in-flight
+    locks (the "race" quiesce fault; reproduces §6.2's E3 setup).
+
+    Exactly one ``rng`` draw per call, so retry statistics are
+    deterministic for a given seed.
+    """
+    rng = param["rng"]
+    probability = float(param.get("probability", 0.75))
+    threads = [ThreadState("main")]
+    blocked = rng.random() < probability
+    threads.append(ThreadState("worker-0", blocked_on_lock=blocked))
+    for index in range(1, 4):
+        threads.append(ThreadState(f"worker-{index}",
+                                   inside_event_loop=True))
+    program.threads = threads
+
+
+def _corrupt_heap(heap: Dict[str, Any], param) -> Dict[str, Any]:
+    """Silently corrupt string/bytes values in a transformed heap (the
+    "corrupt-heap" fault): the update installs, but the follower's
+    replies later disagree with the leader's — a latent transformer bug
+    the divergence check must catch."""
+    marker = str(param.get("marker", "\x00chaos"))
+    corrupted = copy.deepcopy(heap)
+    _scramble(corrupted, marker)
+    return corrupted
+
+
+def _scramble(value: Any, marker: str) -> None:
+    items = value.items() if isinstance(value, dict) else (
+        enumerate(value) if isinstance(value, list) else ())
+    for key, child in items:
+        if isinstance(child, str):
+            value[key] = child + marker
+        elif isinstance(child, bytes):
+            value[key] = child + marker.encode("latin-1")
+        else:
+            _scramble(child, marker)
 
 
 class UpdateOutcome(enum.Enum):
@@ -71,7 +114,21 @@ class Kitsune:
         Raises :class:`QuiescenceTimeout` when some thread cannot reach an
         update point — the *timing error* class of update failures.
         """
+        extra_ns = 0
+        chaos = current_chaos()
+        if chaos is not None:
+            fault = chaos.fire("dsu.quiesce")
+            if fault is not None:
+                if fault.kind == "timeout":
+                    raise QuiescenceTimeout(
+                        "chaos: threads never reached update points")
+                if fault.kind == "race":
+                    _racy_threads(program, fault.param)
+                elif fault.kind == "delay":
+                    extra_ns = max(0, int(fault.param.get("delay_ns", 0)))
         needed = program.quiescence_time()
+        if needed is not None:
+            needed += extra_ns
         if needed is None or needed > self.quiesce_timeout_ns:
             blockers = [
                 t.name for t in program.threads
@@ -93,8 +150,26 @@ class Kitsune:
         :class:`StateTransformError` on buggy transformers.
         """
         old = program.version
-        new_heap = self.transforms.apply(old.app, old.name, new_version.name,
-                                         program.heap)
+        fault = None
+        chaos = current_chaos()
+        if chaos is not None:
+            fault = chaos.fire("dsu.transform")
+            if fault is not None and fault.kind == "exception":
+                raise StateTransformError(
+                    "chaos: injected state-transformer failure")
+        if fault is not None and fault.kind == "replace":
+            # Swap in a caller-supplied (typically buggy) transformer
+            # for just this pair — the E2 fault class.
+            registry = TransformRegistry()
+            registry.register(old.app, old.name, new_version.name,
+                              fault.param["transformer"])
+            new_heap = registry.apply(old.app, old.name, new_version.name,
+                                      program.heap)
+        else:
+            new_heap = self.transforms.apply(old.app, old.name,
+                                             new_version.name, program.heap)
+        if fault is not None and fault.kind == "corrupt-heap":
+            new_heap = _corrupt_heap(new_heap, fault.param)
         entries = old.heap_entries(program.heap)
         duration = entries * xform_entry_ns
         return new_heap, duration, entries
@@ -111,6 +186,13 @@ class Kitsune:
         the program is untouched (Kitsune aborts back to the old code) and
         the result says why.
         """
+        chaos = current_chaos()
+        if chaos is not None:
+            fault = chaos.fire("dsu.update")
+            if fault is not None:
+                # "buggy-version": the operator ships a broken build —
+                # the E1 fault class.
+                new_version = fault.param["factory"](new_version)
         old_name = program.version.name
         tracer = current_tracer()
         if tracer is not None:

@@ -29,6 +29,18 @@ class ConnectionClosed(KernelError):
     """Read from or write to a connection whose peer has closed."""
 
 
+class ConnectionReset(KernelError):
+    """The peer reset the connection mid-stream (ECONNRESET)."""
+
+
+class BrokenPipe(KernelError):
+    """Write on a connection whose read side has vanished (EPIPE)."""
+
+
+class FdExhausted(KernelError):
+    """The process ran out of file descriptors (EMFILE)."""
+
+
 class FileNotFound(KernelError):
     """Virtual filesystem lookup failed."""
 

@@ -20,9 +20,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.errors import BrokenPipe, ConnectionReset, FdExhausted
 from repro.mve.divergence import check_drained, check_match
 from repro.net.kernel import VirtualKernel
 from repro.syscalls.model import Sys, SyscallRecord
+
+#: Kernel errors that record as error-bearing syscall records
+#: (``aux={"error": name}``): when the leader's syscall fails this way
+#: the follower must fail identically during replay, so both versions
+#: drop the session at the same point and stay convergent.
+_ERRNO_CLASSES = {"ECONNRESET": ConnectionReset, "EPIPE": BrokenPipe,
+                  "EMFILE": FdExhausted}
+_ERRNO_NAMES = {cls: name for name, cls in _ERRNO_CLASSES.items()}
 
 
 class GatewayRole(enum.Enum):
@@ -166,8 +175,17 @@ class SyscallGateway:
             actual = SyscallRecord(Sys.ACCEPT, fd=listen_fd)
             expected = self._replay(actual)
             self._emit(expected)
+            error = expected.aux.get("error")
+            if error:
+                raise _ERRNO_CLASSES[error](
+                    f"replayed {error} on accept fd {listen_fd}")
             return int(expected.result)
-        fd = self.kernel.accept(self.domain, listen_fd)
+        try:
+            fd = self.kernel.accept(self.domain, listen_fd)
+        except FdExhausted:
+            self._emit(SyscallRecord(Sys.ACCEPT, fd=listen_fd,
+                                     aux={"error": "EMFILE"}))
+            raise
         self._emit(SyscallRecord(Sys.ACCEPT, fd=listen_fd, result=fd))
         return fd
 
@@ -183,21 +201,78 @@ class SyscallGateway:
                     or expected.fd != fd:
                 check_match(expected, actual)
             self._emit(expected)
+            error = expected.aux.get("error")
+            if error:
+                raise _ERRNO_CLASSES[error](
+                    f"replayed {error} on read fd {fd}")
             return expected.data
-        data = self.kernel.read(self.domain, fd, max_bytes)
+        try:
+            data = self.kernel.read(self.domain, fd, max_bytes)
+        except ConnectionReset:
+            self._emit(SyscallRecord(Sys.READ, fd=fd,
+                                     aux={"error": "ECONNRESET"}))
+            raise
         self._emit(SyscallRecord(Sys.READ, fd=fd, data=data, result=len(data)))
         return data
 
     def write(self, fd: int, data: bytes) -> int:
-        """Write to a stream; follower writes are compared, not executed."""
-        actual = SyscallRecord(Sys.WRITE, fd=fd, data=data, result=len(data))
+        """Write to a stream; follower writes are compared, not executed.
+
+        Short kernel writes are retried until the payload drains (each
+        accepted prefix is its own record); EPIPE/ECONNRESET records as
+        an error-bearing record before propagating, so followers fail at
+        the same point during replay.
+        """
         if self.role is GatewayRole.REPLAY:
-            self._replay(actual)
+            return self._replay_write(fd, data)
+        total = len(data)
+        remaining = data
+        while True:
+            try:
+                written = self.kernel.write(self.domain, fd, remaining)
+            except (BrokenPipe, ConnectionReset) as exc:
+                self._emit(SyscallRecord(
+                    Sys.WRITE, fd=fd, data=remaining, result=len(remaining),
+                    aux={"error": _ERRNO_NAMES[type(exc)]}))
+                raise
+            self._emit(SyscallRecord(Sys.WRITE, fd=fd,
+                                     data=remaining[:written],
+                                     result=written))
+            remaining = remaining[written:]
+            if not remaining:
+                return total
+
+    def _replay_write(self, fd: int, data: bytes) -> int:
+        """Match a follower write against possibly-chunked leader records."""
+        total = len(data)
+        remaining = data
+        while True:
+            actual = SyscallRecord(Sys.WRITE, fd=fd, data=remaining,
+                                   result=len(remaining))
+            expected = self._take_expected()
+            if expected is not None and expected.name is Sys.WRITE \
+                    and expected.fd == fd:
+                error = expected.aux.get("error")
+                if error:
+                    self._emit(expected)
+                    raise _ERRNO_CLASSES[error](
+                        f"replayed {error} on write fd {fd}")
+                if expected.data and remaining != expected.data \
+                        and remaining.startswith(expected.data):
+                    # Possibly a truncated leader write (short-write
+                    # fault).  Only treat it as a chunk when the stream
+                    # continues with another write on the same fd —
+                    # a genuine prefix *divergence* must still trip
+                    # check_match below.
+                    nxt = self._peek_expected()
+                    if nxt is not None and nxt.name is Sys.WRITE \
+                            and nxt.fd == fd:
+                        self._emit(expected)
+                        remaining = remaining[len(expected.data):]
+                        continue
+            check_match(expected, actual)
             self._emit(actual)
-            return len(data)
-        self.kernel.write(self.domain, fd, data)
-        self._emit(actual)
-        return len(data)
+            return total
 
     def close(self, fd: int) -> None:
         """Close an fd; recorded so both versions agree on session ends."""

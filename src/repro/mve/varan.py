@@ -42,7 +42,37 @@ from repro.net.kernel import VirtualKernel
 from repro.net.sockets import Endpoint
 from repro.sim.process import CpuAccount
 from repro.syscalls.costs import AppProfile, ExecutionMode, FORK_PAUSE_NS
-from repro.syscalls.model import Sys, SyscallRecord
+from repro.syscalls.model import DATA_BEARING, Sys, SyscallRecord
+
+#: Bytes prepended by the "corrupt-record" chaos fault; distinctive so
+#: forensics tests can assert the diverging pair carries the corruption.
+CORRUPTION_MARKER = b"\xff<chaos-corrupt>"
+
+
+def _corrupt_expected(expected: List[SyscallRecord],
+                      param) -> List[SyscallRecord]:
+    """Corrupt one data-bearing record in the follower's expected stream.
+
+    Targets the first record with non-empty data (or the
+    ``record_index``-th data-bearing record when the fault says so).
+    The marker is *prepended*: a corrupted READ then frames into a
+    corrupted request the replica answers differently right away, and a
+    corrupted WRITE mismatches the replica's own output directly.
+    (Appending after a request's CRLF would instead park the corruption
+    in framing leftovers, where it could survive a promotion unseen —
+    precisely the silent propagation the divergence check must prevent.)
+    """
+    target = int(param.get("record_index", 0))
+    seen = 0
+    corrupted = list(expected)
+    for index, record in enumerate(corrupted):
+        if record.name in DATA_BEARING and record.data:
+            if seen == target:
+                corrupted[index] = record.with_data(
+                    CORRUPTION_MARKER + record.data)
+                break
+            seen += 1
+    return corrupted
 
 
 @dataclass
@@ -131,6 +161,11 @@ class VaranRuntime:
         """The attached tracer, if any (lives on the shared kernel)."""
         return self.kernel.tracer
 
+    @property
+    def chaos(self):
+        """The active chaos injector, if any (lives on the shared kernel)."""
+        return self.kernel.chaos
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -173,6 +208,9 @@ class VaranRuntime:
         and divergences are handled by the failure policy; after a crash
         the surviving process carries on within the same call.
         """
+        chaos = self.kernel.chaos
+        if chaos is not None:
+            chaos.advance(now)
         t = max(now, self.leader.cpu.busy_until)
         while True:
             if self.leader.crashed:
@@ -189,10 +227,16 @@ class VaranRuntime:
         gateway = leader.gateway
         gateway.begin_iteration()
         crash: Optional[ServerCrash] = None
-        try:
-            leader.server.run_iteration(gateway)
-        except ServerCrash as exc:
-            crash = exc
+        chaos = self.kernel.chaos
+        if chaos is not None and chaos.fire("mve.leader") is not None:
+            # Injected leader kill: the process dies before consuming
+            # any input, so a promoted survivor finds it still buffered.
+            crash = ServerCrash("chaos: injected leader crash")
+        if crash is None:
+            try:
+                leader.server.run_iteration(gateway)
+            except ServerCrash as exc:
+                crash = exc
         trace = gateway.trace
         self.total_syscalls += len(trace.records)
         cost = self.iteration_cost(trace, self.leader_mode())
@@ -220,10 +264,17 @@ class VaranRuntime:
         records = trace.records
         pushed, total = 0, len(records)
         tracer = self.kernel.tracer
+        chaos = self.kernel.chaos
         while pushed < total:
             if self.follower is None:
                 return t  # follower died while we were blocked
             free = self.ring.free_slots()
+            if free > 0 and chaos is not None and self._iterations \
+                    and chaos.fire("mve.ring") is not None:
+                # Injected stall: pretend the ring is full so the leader
+                # blocks on one follower replay (needs a queued
+                # iteration to replay, hence the _iterations guard).
+                free = 0
             if free == 0:
                 self.ring_stalls += 1
                 if tracer is not None:
@@ -331,6 +382,14 @@ class VaranRuntime:
         ready_at = max((entry.produced_at for entry in entries), default=0)
         expected = self._rewrite(entry.payload for entry in entries)
 
+        fault = None
+        chaos = self.kernel.chaos
+        if chaos is not None:
+            chaos.advance(ready_at)
+            fault = chaos.fire("mve.follower")
+        if fault is not None and fault.kind == "corrupt-record":
+            expected = _corrupt_expected(expected, fault.param)
+
         follower = self.follower
         gateway = follower.gateway
         stream = iter(expected)
@@ -342,6 +401,8 @@ class VaranRuntime:
             tracer.on_ring_replay(ready_at, len(entries), len(self.ring),
                                   entries)
         try:
+            if fault is not None and fault.kind == "crash":
+                raise ServerCrash("chaos: injected follower crash")
             follower.server.run_iteration(gateway)
             gateway.finish_iteration()
         except DivergenceError as divergence:

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import BadFileDescriptor, KernelError
+from repro.chaos.injector import current_chaos
+from repro.errors import (BadFileDescriptor, BrokenPipe, ConnectionReset,
+                          FdExhausted, KernelError)
 from repro.net.epoll import EpollSet
 from repro.net.filesystem import VirtualFilesystem
 from repro.net.sockets import Connection, Endpoint, ListeningSocket
@@ -56,6 +58,9 @@ class VirtualKernel:
         #: (or one attached later via ``Tracer.attach``).  None — the
         #: default — keeps every syscall path tracer-free.
         self.tracer = current_tracer()
+        #: Fault-injection hook, same pattern: None keeps every syscall
+        #: path chaos-free.
+        self.chaos = current_chaos()
 
     # -- domains -----------------------------------------------------------
 
@@ -96,6 +101,11 @@ class VirtualKernel:
         """
         if self.tracer is not None:
             self.tracer.on_kernel("enter", "connect", domain_id)
+        if self.chaos is not None:
+            fault = self.chaos.kernel_call("kernel.connect", domain_id, -1)
+            if fault is not None:
+                raise FdExhausted(
+                    f"connect in domain {domain_id}: out of file descriptors")
         if address not in self._listeners:
             raise KernelError(f"connection refused: {address}")
         listener_domain_id, listener_fd = self._listeners[address]
@@ -122,6 +132,17 @@ class VirtualKernel:
             raise KernelError(f"fd {listen_fd} is not a listening socket")
         if not listener.has_pending():
             raise KernelError("accept would block: empty backlog")
+        if self.chaos is not None:
+            fault = self.chaos.kernel_call(
+                "kernel.accept", domain_id, listen_fd)
+            if fault is not None:
+                # The pending connection is consumed and torn down so
+                # the listener does not stay "readable" forever; the
+                # client observes EOF, the server observes EMFILE.
+                connection = listener.accept()
+                connection.close(connection.server)
+                raise FdExhausted(
+                    f"accept in domain {domain_id}: out of file descriptors")
         connection = listener.accept()
         fd = domain.alloc(connection.server)
         domain.endpoint_conn[fd] = connection
@@ -137,6 +158,19 @@ class VirtualKernel:
         endpoint = domain.lookup(fd)
         if not isinstance(endpoint, Endpoint):
             raise KernelError(f"fd {fd} is not a stream")
+        if self.chaos is not None:
+            fault = self.chaos.kernel_call("kernel.read", domain_id, fd)
+            if fault is not None:
+                if fault.kind == "econnreset":
+                    raise ConnectionReset(
+                        f"read fd {fd}: connection reset by peer")
+                # "short-read": deliver fewer bytes than buffered.  The
+                # fd stays readable (level-triggered epoll), so callers
+                # that loop make progress — at least one byte always
+                # comes back.
+                short = max(1, int(fault.param.get("bytes", 1)))
+                if max_bytes is None or short < max_bytes:
+                    max_bytes = short
         data = endpoint.read(max_bytes)
         if self.tracer is not None:
             self.tracer.on_kernel("exit", "read", domain_id, fd)
@@ -151,6 +185,16 @@ class VirtualKernel:
         if not isinstance(endpoint, Endpoint):
             raise KernelError(f"fd {fd} is not a stream")
         connection = domain.endpoint_conn[fd]
+        if self.chaos is not None:
+            fault = self.chaos.kernel_call("kernel.write", domain_id, fd)
+            if fault is not None:
+                if fault.kind == "epipe":
+                    raise BrokenPipe(f"write fd {fd}: broken pipe")
+                # "short-write": accept only a prefix; the caller must
+                # retry the remainder, as with a full socket buffer.
+                short = max(1, int(fault.param.get("bytes", 1)))
+                if short < len(data):
+                    data = data[:short]
         written = connection.write(endpoint, data)
         if self.tracer is not None:
             self.tracer.on_kernel("exit", "write", domain_id, fd)

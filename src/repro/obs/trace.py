@@ -224,6 +224,14 @@ class Tracer:
         self.emit(f"control.{kind}", "mve", at=at, version=version)
         self.metrics.counter(f"control.{kind}").inc()
 
+    def on_chaos(self, at: int, site: str, kind: str, *,
+                 call_index: int = 0, stage: str = "") -> None:
+        """A chaos injector fired one fault at an instrumented site."""
+        self.emit("chaos.inject", "chaos", at=at, site=site, fault=kind,
+                  call_index=call_index, stage=stage)
+        self.metrics.counter("chaos.injected").inc()
+        self.metrics.counter(f"chaos.site.{site}").inc()
+
     # -- reporting ----------------------------------------------------------
 
     def kind_tally(self) -> Dict[str, int]:

@@ -3,10 +3,11 @@
 Wall-clock numbers are machine-dependent; the value of this file is the
 *trajectory*: the same scenarios, run on the same machine across PRs,
 must not regress.  ``BENCH_perf.json`` maps each scenario name to
-``{wall_s, vreq_per_s, syscalls_per_s}`` — plus, for scenarios that run
-a real ring buffer, the deterministic pressure gauges
-``ring_high_watermark`` and ``ring_stalls`` — and a ``_meta`` entry
-that records how the run was parameterized.
+``{wall_s, vreq_per_s, syscalls_per_s}`` — plus every deterministic
+gauge the scenario's thunk returned in its ``extras`` dict (ring
+pressure for the ring scenarios, recovery latency for the chaos
+scenario) — and a ``_meta`` entry that records how the run was
+parameterized.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.perf.scenarios import SCENARIOS, Scenario
@@ -33,11 +34,19 @@ class BenchResult:
     wall_s: float
     vrequests: int
     syscalls: int
-    #: Peak ring occupancy over the run; None for scenarios without a
-    #: ring (the pure rule-engine streams).
-    ring_high_watermark: Optional[int] = None
-    #: How often a full ring stalled the leader (BufferFull waits).
-    ring_stalls: Optional[int] = None
+    #: Deterministic scenario gauges, copied into BENCH_perf.json
+    #: verbatim (ring pressure, chaos recovery latency, ...).
+    extras: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ring_high_watermark(self) -> Optional[int]:
+        """Peak ring occupancy; None for scenarios without a ring."""
+        return self.extras.get("ring_high_watermark")
+
+    @property
+    def ring_stalls(self) -> Optional[int]:
+        """How often a full ring stalled the leader (BufferFull waits)."""
+        return self.extras.get("ring_stalls")
 
     @property
     def vreq_per_s(self) -> float:
@@ -60,9 +69,7 @@ def run_scenario(scenario: Scenario, ops: int, *,
         wall = time.perf_counter() - start
         result = BenchResult(scenario.name, scenario.description, ops,
                              wall, vrequests, syscalls,
-                             ring_high_watermark=extras.get(
-                                 "ring_high_watermark"),
-                             ring_stalls=extras.get("ring_stalls"))
+                             extras=dict(extras))
         if best is None or result.wall_s < best.wall_s:
             best = result
     return best
@@ -96,10 +103,7 @@ def to_bench_dict(results: List[BenchResult], *, quick: bool = False) -> Dict:
             "vreq_per_s": round(result.vreq_per_s, 1),
             "syscalls_per_s": round(result.syscalls_per_s, 1),
         }
-        if result.ring_high_watermark is not None:
-            entry["ring_high_watermark"] = result.ring_high_watermark
-        if result.ring_stalls is not None:
-            entry["ring_stalls"] = result.ring_stalls
+        entry.update(result.extras)
         payload[result.name] = entry
     payload["_meta"] = {
         "schema": SCHEMA,

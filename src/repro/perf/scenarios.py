@@ -21,6 +21,9 @@ Scenario catalogue:
   isolation over synthetic leader streams, with heavy catalogues.
 * ``fig7-ring-2^N`` — leader + follower under a small/medium/large ring,
   interleaving publish and back-pressure replay like Figure 7 does.
+* ``chaos-recovery-kvstore`` — full update lifecycles under
+  recovery-class chaos faults (``repro.chaos``), reporting deterministic
+  virtual-time recovery-latency gauges alongside wall-clock throughput.
 """
 
 from __future__ import annotations
@@ -221,6 +224,67 @@ def build_ring_sweep(capacity: int) -> Callable[[int], Thunk]:
 
 
 # ---------------------------------------------------------------------------
+# Chaos-recovery scenario: how fast does MVE contain an injected fault?
+# ---------------------------------------------------------------------------
+
+def build_chaos_recovery(ops: int) -> Thunk:
+    """``ops`` full kvstore update lifecycles, each under one
+    recovery-class chaos fault, cycling a fixed cell list.
+
+    Wall-clock throughput measures the simulator's fault paths (crash
+    handling, divergence forensics, rollback); the extras are *virtual*
+    recovery latencies — injection to the recovery event — which are
+    deterministic and therefore regression-pinnable, unlike wall time.
+    """
+    # Imported lazily: the chaos package pulls in the full server stack.
+    from repro.chaos.campaign import run_cell
+    from repro.chaos.plan import Fault, FaultPlan, on_call
+    from repro.chaos.scenarios import buggy_v2_factory
+    from repro.servers.kvstore import xform_drop_table
+
+    cells = [
+        # E1: buggy new version — divergence caught at the first
+        # post-update replay, a full virtual second after injection.
+        FaultPlan("e1-buggy-version", (
+            Fault("dsu.update", "buggy-version", on_call(1),
+                  param={"factory": buggy_v2_factory}),)),
+        # E2: transformer drops the table — same detection window.
+        FaultPlan("e2-drop-table", (
+            Fault("dsu.transform", "replace", on_call(1),
+                  param={"transformer": xform_drop_table}),)),
+        # Follower crashes mid-catch-up: rollback, old version serves on.
+        FaultPlan("follower-crash", (
+            Fault("mve.follower", "crash", on_call(1)),)),
+        # Corrupted follower record: divergence forensics + rollback.
+        FaultPlan("follower-corrupt", (
+            Fault("mve.follower", "corrupt-record", on_call(2)),)),
+        # Leader crashes while outdated: the follower is promoted.
+        FaultPlan("leader-crash", (
+            Fault("mve.leader", "crash", on_call(12)),)),
+    ]
+
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        vrequests = 0
+        syscalls = 0
+        latencies: List[int] = []
+        for index in range(ops):
+            result = run_cell(cells[index % len(cells)])
+            vrequests += len(result.observations)
+            syscalls += result.syscalls
+            if result.injections and result.recovery_at is not None:
+                first = result.injections[0]["at"]
+                latencies.append(max(0, result.recovery_at - first))
+        extras = {"recovered_runs": len(latencies)}
+        if latencies:
+            extras["recovery_latency_min_ns"] = min(latencies)
+            extras["recovery_latency_max_ns"] = max(latencies)
+            extras["recovery_latency_mean_ns"] = \
+                sum(latencies) // len(latencies)
+        return vrequests, syscalls, extras
+    return thunk
+
+
+# ---------------------------------------------------------------------------
 # Stream scenarios: the rule engine in isolation
 # ---------------------------------------------------------------------------
 
@@ -320,4 +384,8 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
     Scenario("fig7-ring-2^11",
              "leader+follower through a 2048-entry ring",
              build_ring_sweep(1 << 11), default_ops=1500),
+    Scenario("chaos-recovery-kvstore",
+             "update lifecycles under recovery-class chaos faults "
+             "(virtual recovery-latency gauges)",
+             build_chaos_recovery, default_ops=30),
 )}

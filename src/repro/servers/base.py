@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dsu.program import ThreadState, UpdatableProgram
 from repro.dsu.version import ServerVersion
+from repro.errors import BrokenPipe, ConnectionReset, FdExhausted
 from repro.mve.gateway import SyscallGateway
 from repro.net.kernel import VirtualKernel
 
@@ -126,7 +127,12 @@ class Server:
                 self._service_fd(gateway, fd)
 
     def _accept_one(self, gateway: SyscallGateway) -> None:
-        fd = gateway.accept(self.listen_fd)
+        try:
+            fd = gateway.accept(self.listen_fd)
+        except FdExhausted:
+            # Out of fds: the kernel already tore the pending connection
+            # down (the client sees EOF); drop it and keep serving.
+            return
         gateway.epoll_ctl(self.epoll_fd, fd, add=True)
         session = Session(fd)
         self.sessions[fd] = session
@@ -140,7 +146,12 @@ class Server:
             # the leader before this follower forked); adopt it.
             session = Session(fd)
             self.sessions[fd] = session
-        data = gateway.read(fd)
+        try:
+            data = gateway.read(fd)
+        except ConnectionReset:
+            gateway.close(fd)
+            self._drop_session(fd)
+            return
         if data == b"":
             gateway.close(fd)
             self._drop_session(fd)
@@ -151,7 +162,14 @@ class Server:
             responses = self.version.handle(self.heap, request,
                                             session.state,
                                             io=self._io_context(gateway, session))
-            self._emit_responses(gateway, session, request, responses)
+            try:
+                self._emit_responses(gateway, session, request, responses)
+            except (BrokenPipe, ConnectionReset):
+                # The client vanished mid-reply; drop the session like a
+                # real server would on EPIPE.
+                gateway.close(fd)
+                self._drop_session(fd)
+                return
 
     def _io_context(self, gateway: SyscallGateway,
                     session: Session) -> Any:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.chaos.injector import current_chaos
 from repro.errors import SimulationError
 from repro.obs.trace import current_tracer
 
@@ -52,6 +53,9 @@ class Engine:
         #: Observability hook: the active tracer at construction time.
         #: None (the default) keeps the dispatch loop tracer-free.
         self.tracer = current_tracer()
+        #: Fault-injection hook, same pattern: None keeps the loop
+        #: chaos-free.
+        self.chaos = current_chaos()
 
     @property
     def now(self) -> int:
@@ -104,6 +108,19 @@ class Engine:
                     break
                 heapq.heappop(self._queue)
                 self._now = when
+                if self.chaos is not None:
+                    fault = self.chaos.fire("sim.event", when=when)
+                    if fault is not None:
+                        if fault.kind == "drop":
+                            continue
+                        # "delay": requeue the event later; ties broken
+                        # by a fresh sequence number as usual.
+                        delay = max(1, int(fault.param.get(
+                            "delay_ns", MILLISECOND)))
+                        heapq.heappush(
+                            self._queue, (when + delay, self._seq, callback))
+                        self._seq += 1
+                        continue
                 if self.tracer is not None:
                     self.tracer.on_sim_event(when, len(self._queue))
                 callback()

@@ -13,6 +13,8 @@ The single app ``badkv`` plants one defect per analyzer:
 * release ``3`` with no transformer
   edge reaching it                   → update paths,  MVE401 + MVE403
 * an untagged reply-suppressing rule → trace lint,    MVE501 (WARNING)
+* a fault plan naming a nonexistent
+  injection site and an illegal kind → chaos lint,    MVE601 (ERROR)
 """
 
 from __future__ import annotations
@@ -76,6 +78,16 @@ def _drop_entries(heap: Dict[str, Any]) -> Dict[str, Any]:
     return {"table": {}, "stats": dict(heap["stats"])}
 
 
+def _bad_fault_plan():
+    """Names a site no hook implements and a kind illegal at a real
+    site — both vacuous cells a campaign would silently mark masked."""
+    from repro.chaos.plan import Fault, FaultPlan, on_call
+    return FaultPlan("badkv-chaos", (
+        Fault("kernel.reed", "econnreset", on_call(1)),   # typo'd site
+        Fault("mve.leader", "corrupt-record", on_call(1)),  # wrong kind
+    ))
+
+
 def _rules_for(old: str, new: str) -> RuleSet:
     rules = RuleSet()
     if (old, new) == ("1", "2"):
@@ -100,4 +112,5 @@ def catalog() -> Dict[str, AppConfig]:
         transforms=transforms,
         rules_for=_rules_for,
         seed_requests=(b"SET alpha one", b"SET beta two"),
+        fault_plans=(_bad_fault_plan,),
     )}

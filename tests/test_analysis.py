@@ -1,4 +1,4 @@
-"""Tests for mvelint (repro.analysis): all four analyzers, the catalog,
+"""Tests for mvelint (repro.analysis): all six analyzers, the catalog,
 and the ``python -m repro lint`` CLI."""
 
 import json
@@ -12,12 +12,14 @@ from repro.analysis import (
     audit_transforms,
     check_coverage,
     default_catalog,
+    lint_fault_plan,
     lint_main,
     lint_rules,
     run_app,
     run_catalog,
     seeded_heap,
 )
+from repro.chaos import Fault, FaultPlan, Trigger, at_stage, on_call
 from repro.dsu.transform import TransformRegistry
 from repro.dsu.version import ServerVersion, VersionRegistry
 from repro.mve.dsl import Direction, RuleSet, parse_rules, rewrite_write
@@ -388,6 +390,49 @@ class TestPathAudit:
 
 
 # ---------------------------------------------------------------------------
+# MVE6xx: fault-plan lint
+# ---------------------------------------------------------------------------
+
+
+class TestChaosLint:
+    def test_unknown_site_is_mve601_error(self):
+        plan = FaultPlan("p", (Fault("kernel.reed", "econnreset",
+                                     on_call(1)),))
+        findings = lint_fault_plan(APP, plan)
+        flagged = by_code(findings, "MVE601")
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.ERROR
+        assert "kernel.reed" in flagged[0].message
+
+    def test_illegal_kind_at_site_is_mve601_error(self):
+        plan = FaultPlan("p", (Fault("mve.leader", "corrupt-record",
+                                     on_call(1)),))
+        findings = lint_fault_plan(APP, plan)
+        flagged = by_code(findings, "MVE601")
+        assert len(flagged) == 1
+        assert "corrupt-record" in flagged[0].message
+
+    def test_malformed_trigger_is_mve602_error(self):
+        plan = FaultPlan("p", (
+            Fault("kernel.read", "econnreset", on_call(0)),
+            Fault("kernel.write", "epipe", at_stage("promoted")),
+            Fault("sim.event", "drop", Trigger("predicate")),
+        ))
+        findings = lint_fault_plan(APP, plan)
+        flagged = by_code(findings, "MVE602")
+        assert len(flagged) == 3
+        assert all(f.severity is Severity.ERROR for f in flagged)
+
+    def test_valid_plan_is_clean(self):
+        plan = FaultPlan("p", (
+            Fault("mve.follower", "corrupt-record", on_call(2)),
+            Fault("kernel.read", "short-read", at_stage("outdated-leader"),
+                  param={"bytes": 5}),
+        ))
+        assert lint_fault_plan(APP, plan) == []
+
+
+# ---------------------------------------------------------------------------
 # Catalog + CLI
 # ---------------------------------------------------------------------------
 
@@ -416,6 +461,7 @@ class TestCatalogAndCli:
         assert "MVE401" in per_analyzer["paths"]
         assert "MVE403" in per_analyzer["paths"]
         assert "MVE501" in per_analyzer["trace"]
+        assert "MVE601" in per_analyzer["chaos-lint"]
 
     def test_cli_default_catalog_exits_zero(self, capsys):
         assert lint_main(["--json"]) == 0
@@ -430,7 +476,7 @@ class TestCatalogAndCli:
         assert payload["ok"] is False
         found = {f["code"] for f in payload["findings"]}
         assert {"MVE102", "MVE201", "MVE302", "MVE401",
-                "MVE403", "MVE501"} <= found
+                "MVE403", "MVE501", "MVE601"} <= found
 
     def test_cli_app_filter(self, capsys):
         assert lint_main(["--json", "--app", "vsftpd"]) == 0
