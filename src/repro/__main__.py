@@ -13,6 +13,7 @@
     python -m repro perf          # wall-clock benchmark of the simulator
     python -m repro trace fig6    # traced semantic companion run
     python -m repro chaos kvstore # fault-injection campaign + invariants
+    python -m repro fleet canary-kvstore  # sharded fleet canary upgrade
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
@@ -65,18 +66,23 @@ def main(argv=None) -> int:
         # and the chaos campaign runner.
         from repro.chaos.cli import chaos_main
         return chaos_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # and the fleet orchestrator.
+        from repro.cluster.cli import fleet_main
+        return fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
                         choices=sorted(_COMMANDS) + ["all", "chaos",
-                                                     "lint", "perf",
-                                                     "trace"],
+                                                     "fleet", "lint",
+                                                     "perf", "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'perf' the "
                              "wall-clock benchmark harness; 'trace' a "
                              "traced semantic companion; 'chaos' a "
-                             "fault-injection campaign)")
+                             "fault-injection campaign; 'fleet' a "
+                             "sharded canary upgrade)")
     parser.add_argument("--trace", metavar="PATH", dest="trace_path",
                         help="run with the structured tracer installed "
                              "and write a JSONL trace to PATH afterwards")

@@ -17,7 +17,10 @@ divergences or corrupted heaps:
 * :mod:`repro.analysis.trace_lint` — suppressing rules with no
   forensic trace tag (MVE5xx);
 * :mod:`repro.analysis.chaos_lint` — fault plans referencing unknown
-  injection sites, illegal fault kinds, or malformed triggers (MVE6xx).
+  injection sites, illegal fault kinds, or malformed triggers (MVE6xx);
+* :mod:`repro.analysis.fleet_lint` — fleet topologies whose upgrade
+  waves are wider than the replication factor, or malformed shard /
+  replica / wave counts (MVE7xx).
 
 Run it via ``python -m repro lint [--json] [--app APP]``; see
 ``docs/linting.md`` for the finding codes and CI gating.
@@ -27,6 +30,7 @@ from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
 from repro.analysis.chaos_lint import lint_fault_plan, lint_fault_plans
 from repro.analysis.coverage import check_coverage
 from repro.analysis.findings import Finding, LintReport, Severity
+from repro.analysis.fleet_lint import lint_fleet_topologies, lint_fleet_topology
 from repro.analysis.paths import audit_paths
 from repro.analysis.rules_lint import lint_rules
 from repro.analysis.transform_audit import audit_transforms, seeded_heap
@@ -43,6 +47,8 @@ __all__ = [
     "default_catalog",
     "lint_fault_plan",
     "lint_fault_plans",
+    "lint_fleet_topologies",
+    "lint_fleet_topology",
     "lint_main",
     "lint_rules",
     "load_catalog",

@@ -40,6 +40,10 @@ class AppConfig:
     #: Zero-argument factories returning the app's chaos
     #: :class:`~repro.chaos.plan.FaultPlan` values, linted by MVE6xx.
     fault_plans: Tuple[Callable[[], object], ...] = ()
+    #: Zero-argument factories returning the app's fleet
+    #: :class:`~repro.cluster.shard.FleetSpec` topologies, linted by
+    #: MVE7xx.
+    fleet_topologies: Tuple[Callable[[], object], ...] = ()
     #: ``(code, location_substring)`` pairs of accepted findings; keep a
     #: comment next to each entry saying *why* it is acceptable.
     allow: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
@@ -66,6 +70,12 @@ def _kvstore_config() -> AppConfig:
             Fault("mve.follower", "corrupt-record", on_call(2)),
         ))
 
+    def canary_topology():
+        # The python -m repro fleet default: 3 shards x 3 replicas,
+        # single-slot waves (replica 0 is the canary).
+        from repro.cluster.shard import FleetSpec
+        return FleetSpec(shards=3, replicas_per_shard=3, wave_size=1)
+
     return AppConfig(
         name="kvstore",
         versions=kvstore_registry(),
@@ -74,6 +84,7 @@ def _kvstore_config() -> AppConfig:
         seed_requests=(b"PUT alpha one", b"PUT beta two",
                        b"PUT gamma three"),
         fault_plans=(campaign_plan,),
+        fleet_topologies=(canary_topology,),
         allow=(
             # §3.3.2: after promotion the new leader executes commands
             # the old follower cannot mirror; the follower diverges and

@@ -1,6 +1,6 @@
 """The ``python -m repro lint`` entry point.
 
-Runs all six mvelint analyzers over an app catalog and prints either a
+Runs all seven mvelint analyzers over an app catalog and prints either a
 human-readable report or machine-readable JSON (``--json``) whose shape
 is documented in ``docs/linting.md``.  The exit status is 0 when no
 non-allowlisted ERROR finding exists, 1 otherwise — CI gates on it.
@@ -15,6 +15,7 @@ from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
 from repro.analysis.chaos_lint import lint_fault_plans
 from repro.analysis.coverage import check_coverage
 from repro.analysis.findings import LintReport, Severity
+from repro.analysis.fleet_lint import lint_fleet_topologies
 from repro.analysis.paths import audit_paths
 from repro.analysis.rules_lint import lint_rules
 from repro.analysis.trace_lint import lint_trace_tags
@@ -51,6 +52,7 @@ def run_app(config: AppConfig) -> LintReport:
     report.extend(audit_transforms(app, config.versions, config.transforms,
                                    config.seed_requests))
     report.extend(lint_fault_plans(app, config.fault_plans))
+    report.extend(lint_fleet_topologies(app, config.fleet_topologies))
     report.apply_allowlist(app, config.allow)
     return report
 

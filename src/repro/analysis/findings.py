@@ -13,6 +13,7 @@ MVE3xx state-transformer audit (:mod:`repro.analysis.transform_audit`)
 MVE4xx update-path audit (:mod:`repro.analysis.paths`)
 MVE5xx trace-annotation lint (:mod:`repro.analysis.trace_lint`)
 MVE6xx fault-plan lint (:mod:`repro.analysis.chaos_lint`)
+MVE7xx fleet-topology lint (:mod:`repro.analysis.fleet_lint`)
 ====== ==========================================================
 """
 

@@ -1,0 +1,73 @@
+"""Analyzer 7: fleet-topology lint (MVE7xx).
+
+A fleet topology (:class:`repro.cluster.shard.FleetSpec`) decides how
+the :class:`~repro.cluster.orchestrator.FleetOrchestrator` staggers an
+upgrade: how many shards, how many replicas each, and how many replica
+slots one wave covers.  A malformed topology fails loudly at
+construction time, but a *legal-yet-degenerate* one fails in the worst
+possible way — during the upgrade, when a wave wider than the
+replication factor drains whole shards at once and the canary has no
+peer left to fail over to.  Linting topologies statically mirrors what
+MVE601 does for fault plans: catch configuration drift before any
+traffic is at stake.  The checks are the spec's own validators
+(``shape_problems`` / ``drain_problems`` / ``advisories``), so the
+analyzer and the orchestrator can never disagree.
+
+====== =============================================================
+Code   Meaning
+====== =============================================================
+MVE701 wave width exceeds the replication factor: one upgrade wave
+       would tie up every replica of a shard, so a mid-wave demotion
+       leaves the shard with no serving replica (ERROR)
+MVE702 wave width equals the replication factor: legal, but every
+       replica of a shard is inside the upgrade at once — no replica
+       stays behind on the known-good version (WARNING)
+MVE703 malformed topology: a shard count, replication factor, or
+       wave width below one (ERROR — the orchestrator refuses it)
+====== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.cluster.shard import FleetSpec
+
+ANALYZER = "fleet-lint"
+
+
+def _location(app: str, spec: FleetSpec) -> str:
+    return (f"{app} fleet {spec.shards}x{spec.replicas_per_shard} "
+            f"wave={spec.wave_size}")
+
+
+def lint_fleet_topology(app: str, spec: FleetSpec) -> List[Finding]:
+    """All MVE7xx findings for one fleet topology."""
+    findings: List[Finding] = []
+    location = _location(app, spec)
+    for problem in spec.shape_problems():
+        findings.append(Finding("MVE703", Severity.ERROR, ANALYZER,
+                                app, location, problem))
+    for problem in spec.drain_problems():
+        findings.append(Finding("MVE701", Severity.ERROR, ANALYZER,
+                                app, location, problem))
+    for advisory in spec.advisories():
+        findings.append(Finding("MVE702", Severity.WARNING, ANALYZER,
+                                app, location, advisory))
+    return findings
+
+
+def lint_fleet_topologies(app: str,
+                          topology_factories:
+                          Iterable[Callable[[], FleetSpec]]
+                          ) -> List[Finding]:
+    """Lint every fleet topology an app's catalog entry declares.
+
+    Topologies are declared as zero-argument factories, same as fault
+    plans, so the catalog import stays cheap and cycle-free.
+    """
+    findings: List[Finding] = []
+    for factory in topology_factories:
+        findings.extend(lint_fleet_topology(app, factory()))
+    return findings

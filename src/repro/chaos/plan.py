@@ -54,6 +54,10 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "dsu.update": ("buggy-version",),
     "dsu.quiesce": ("timeout", "delay", "race"),
     "dsu.transform": ("exception", "corrupt-heap", "replace"),
+    # cluster/orchestrator.py + cluster/balancer.py — fleet orchestration.
+    "fleet.replica": ("crash",),
+    "fleet.canary": ("divergence",),
+    "fleet.balancer": ("partition",),
 }
 
 #: Legal trigger kinds (see the module docstring).

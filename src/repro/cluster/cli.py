@@ -1,0 +1,87 @@
+"""``python -m repro fleet`` — run a fleet canary-upgrade scenario.
+
+    python -m repro fleet canary-kvstore                # 3×3 fleet
+    python -m repro fleet canary-kvstore --shards 2 --replicas 2
+    python -m repro fleet canary-kvstore --seed 7 --report out.json
+
+The report is JSON with schema ``repro-fleet/1`` (see
+``docs/cluster.md``); stdout carries the topology, the per-round table,
+and the invariant verdict.  Exit status is non-zero when any fleet
+invariant is violated or the written report fails its own schema
+validation — the CI ``fleet-smoke`` job gates on exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.cluster.fleet import run_fleet_scenario, validate_report
+
+
+def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Canary-staged Mvedsua upgrades across a sharded, "
+                    "replicated fleet.")
+    parser.add_argument("scenario", choices=["canary-kvstore"],
+                        help="which fleet scenario to run")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="traffic seed (default: 1)")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard count (default: 3)")
+    parser.add_argument("--replicas", type=int, default=3,
+                        help="replicas per shard (default: 3)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="where to write the JSON report (default: "
+                             "FLEET_<scenario>.json)")
+    args = parser.parse_args(argv)
+
+    report = run_fleet_scenario(args.scenario, args.seed,
+                                shards=args.shards,
+                                replicas=args.replicas)
+
+    topology = report["topology"]
+    print(f"fleet scenario: {args.scenario} "
+          f"({topology['shards']} shards x "
+          f"{topology['replicas_per_shard']} replicas, "
+          f"seed {report['seed']})")
+    print()
+    rows = []
+    for round_payload in report["rounds"]:
+        rows.append([round_payload["label"], round_payload["outcome"],
+                     str(round_payload["updated"]),
+                     str(round_payload["demotions"])])
+    print(format_table(["round", "outcome", "updated", "demoted"], rows))
+    print()
+    print(f"max MVE pairs per shard: "
+          f"{report['max_mve_pairs_per_shard']}  "
+          f"rollbacks: {report['rollbacks']}  "
+          f"failovers: {report['failovers']}")
+    violations = report["invariants"]["problems"]
+    if violations:
+        for violation in violations:
+            print(f"  VIOLATION: {violation}")
+    else:
+        print(f"invariants: clean over "
+              f"{report['invariants']['checked_observations']} "
+              f"observations")
+
+    suffix = args.scenario.split("-")[-1]
+    path = args.report or f"FLEET_{suffix}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote report: {path}")
+
+    problems = validate_report(report)
+    for problem in problems:
+        print(f"  report problem: {problem}", file=sys.stderr)
+    return 1 if violations or problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(fleet_main())

@@ -18,6 +18,14 @@ class NodeStatus(enum.Enum):
     SERVING = "serving"
     DRAINING = "draining"
     RESTARTING = "restarting"
+    #: A canary whose update was demoted (divergence during validation).
+    #: Existing sessions keep being served — the runtime rolled back to
+    #: the old leader with no state loss — but no *new* placement lands
+    #: here until the fleet-wide rollback completes.
+    DEMOTED = "demoted"
+    #: Crashed or unreachable.  Routing must fail sessions over; only an
+    #: operator replacing the node brings it back.
+    FAILED = "failed"
 
 
 class ClusterNode:
@@ -31,6 +39,10 @@ class ClusterNode:
         self.server = server
         self.profile = profile
         self.status = NodeStatus.SERVING
+        #: Fleet identity, assigned by :class:`repro.cluster.shard.Shard`
+        #: when the node joins a replica group (None in flat clusters).
+        self.shard_index: Optional[int] = None
+        self.replica_index: Optional[int] = None
         if transforms is not None:
             self.runtime: Any = Mvedsua(kernel, server, profile,
                                         transforms=transforms)
@@ -58,9 +70,25 @@ class ClusterNode:
     def version_name(self) -> str:
         return self.current_server.version.name
 
+    @property
+    def in_mve_mode(self) -> bool:
+        """True while this node pays for a leader-follower pair.
+
+        The fleet orchestrator samples this per shard to enforce (and
+        report) the paper's §1.2 budget: at most one replica per shard
+        in MVE mode at any time.
+        """
+        if isinstance(self.runtime, Mvedsua):
+            return self.runtime.runtime.in_mve_mode
+        return False
+
     def accepting_new_connections(self) -> bool:
         """True when the balancer may route new clients here."""
         return self.status is NodeStatus.SERVING
+
+    def healthy(self) -> bool:
+        """False once the node has crashed; routing must avoid it."""
+        return self.status is not NodeStatus.FAILED
 
     def active_sessions(self) -> int:
         """Connections currently attached to this node."""

@@ -224,6 +224,12 @@ class Tracer:
         self.emit(f"control.{kind}", "mve", at=at, version=version)
         self.metrics.counter(f"control.{kind}").inc()
 
+    def on_fleet(self, kind: str, at: int, **fields: Any) -> None:
+        """A fleet-orchestration step (canary/wave/promote/rollback/
+        demotion/failover/partition/replica_crash)."""
+        self.emit(f"fleet.{kind}", "fleet", at=at, **fields)
+        self.metrics.counter(f"fleet.{kind}").inc()
+
     def on_chaos(self, at: int, site: str, kind: str, *,
                  call_index: int = 0, stage: str = "") -> None:
         """A chaos injector fired one fault at an instrumented site."""

@@ -24,6 +24,9 @@ Scenario catalogue:
 * ``chaos-recovery-kvstore`` — full update lifecycles under
   recovery-class chaos faults (``repro.chaos``), reporting deterministic
   virtual-time recovery-latency gauges alongside wall-clock throughput.
+* ``fleet-canary-upgrade`` — the sharded-fleet canary scenario
+  (``repro.cluster.fleet``): two upgrade rounds over seeded traffic,
+  reporting the fleet's rollback and MVE-budget gauges.
 """
 
 from __future__ import annotations
@@ -285,6 +288,36 @@ def build_chaos_recovery(ops: int) -> Thunk:
 
 
 # ---------------------------------------------------------------------------
+# Fleet scenario: canary-staged upgrades across a sharded fleet
+# ---------------------------------------------------------------------------
+
+def build_fleet_canary_upgrade(ops: int) -> Thunk:
+    """The ``python -m repro fleet`` canary scenario on a 2×2 fleet.
+
+    ``ops`` is the client command budget spread over the three traffic
+    phases.  Wall-clock throughput measures the whole orchestration
+    stack (sharded routing, fan-out writes, canary probes, fleet-wide
+    rollback); the extras pin the deterministic fleet gauges — the
+    rollback count and the per-shard MVE-pair budget, which must
+    never exceed one.
+    """
+    # Imported lazily: the fleet pulls in the chaos invariant checker.
+    from repro.cluster.fleet import run_fleet_scenario
+
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        report = run_fleet_scenario(seed=1, shards=2, replicas=2,
+                                    commands=ops)
+        extras = {
+            "fleet_rollbacks": report["rollbacks"],
+            "fleet_max_mve_pairs_per_shard":
+                report["max_mve_pairs_per_shard"],
+            "fleet_failovers": report["failovers"],
+        }
+        return len(report["observations"]), report["syscalls"], extras
+    return thunk
+
+
+# ---------------------------------------------------------------------------
 # Stream scenarios: the rule engine in isolation
 # ---------------------------------------------------------------------------
 
@@ -388,4 +421,8 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
              "update lifecycles under recovery-class chaos faults "
              "(virtual recovery-latency gauges)",
              build_chaos_recovery, default_ops=30),
+    Scenario("fleet-canary-upgrade",
+             "canary-staged fleet upgrade: sharded routing, fan-out "
+             "writes, rollback on divergence",
+             build_fleet_canary_upgrade, default_ops=60),
 )}

@@ -15,6 +15,9 @@ The single app ``badkv`` plants one defect per analyzer:
 * an untagged reply-suppressing rule → trace lint,    MVE501 (WARNING)
 * a fault plan naming a nonexistent
   injection site and an illegal kind → chaos lint,    MVE601 (ERROR)
+* a fleet topology whose upgrade
+  wave is wider than the shard's
+  replica count                      → fleet lint,    MVE701 (ERROR)
 """
 
 from __future__ import annotations
@@ -88,6 +91,13 @@ def _bad_fault_plan():
     ))
 
 
+def _bad_fleet_topology():
+    """Two-slot upgrade waves over single-replica shards: one wave
+    would drain whole shards (MVE701)."""
+    from repro.cluster.shard import FleetSpec
+    return FleetSpec(shards=2, replicas_per_shard=1, wave_size=2)
+
+
 def _rules_for(old: str, new: str) -> RuleSet:
     rules = RuleSet()
     if (old, new) == ("1", "2"):
@@ -113,4 +123,5 @@ def catalog() -> Dict[str, AppConfig]:
         rules_for=_rules_for,
         seed_requests=(b"SET alpha one", b"SET beta two"),
         fault_plans=(_bad_fault_plan,),
+        fleet_topologies=(_bad_fleet_topology,),
     )}

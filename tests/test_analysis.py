@@ -1,5 +1,6 @@
-"""Tests for mvelint (repro.analysis): all six analyzers, the catalog,
-and the ``python -m repro lint`` CLI."""
+"""Tests for mvelint (repro.analysis): the analyzers, the catalog,
+and the ``python -m repro lint`` CLI (the fleet-topology analyzer is
+covered in tests/test_fleet.py)."""
 
 import json
 from pathlib import Path

@@ -71,6 +71,75 @@ class TestLoadBalancer:
         assert node_b.active_sessions() == 0
 
 
+class TestLoadBalancerCursorStability:
+    def test_drain_does_not_reshuffle_assignments(self):
+        """Regression: the cursor must index the stable node list, not
+        the filtered candidate list.  With the old behaviour, draining
+        node-0 after one pick made the same cursor value name a
+        different node, reshuffling every subsequent assignment
+        ([node-2, node-1] instead of [node-1, node-2])."""
+        _, balancer = make_cluster(3)
+        assert balancer.pick().name == "node-0"
+        balancer.nodes[0].status = NodeStatus.DRAINING
+        assert [balancer.pick().name for _ in range(2)] \
+            == ["node-1", "node-2"]
+
+    def test_resumed_node_rejoins_rotation_in_place(self):
+        _, balancer = make_cluster(3)
+        balancer.pick()
+        balancer.nodes[0].status = NodeStatus.DRAINING
+        assert balancer.pick().name == "node-1"
+        balancer.nodes[0].status = NodeStatus.SERVING
+        # The cursor kept walking the stable ring, so node-2 then
+        # node-0 come next — no node is skipped or double-served.
+        assert [balancer.pick().name for _ in range(2)] \
+            == ["node-2", "node-0"]
+
+    def test_drain_resume_transition_keeps_sessions(self):
+        _, balancer = make_cluster(2)
+        client, node = balancer.connect()
+        node.status = NodeStatus.DRAINING
+        assert not node.accepting_new_connections()
+        # The drained node still serves its existing session.
+        assert client.command(node.runtime, b"PUT k v") == b"+OK\r\n"
+        node.status = NodeStatus.SERVING
+        assert node.accepting_new_connections()
+
+    def test_demoted_and_failed_statuses(self):
+        _, balancer = make_cluster(2)
+        node = balancer.nodes[0]
+        node.status = NodeStatus.DEMOTED
+        assert not node.accepting_new_connections()
+        assert node.healthy()
+        node.status = NodeStatus.FAILED
+        assert not node.accepting_new_connections()
+        assert not node.healthy()
+        picks = {balancer.pick().name for _ in range(4)}
+        assert picks == {"node-1"}
+
+
+class TestUpgradeSummaryAccounting:
+    def test_totals_and_duration(self):
+        from repro.cluster.rolling import NodeUpgradeRecord, UpgradeSummary
+        summary = UpgradeSummary("synthetic", [
+            NodeUpgradeRecord("a", started_at=100, finished_at=400,
+                              sessions_dropped=2, state_entries_lost=10),
+            NodeUpgradeRecord("b", started_at=400, finished_at=900,
+                              sessions_dropped=1, state_entries_lost=0,
+                              leader_pause_ns=7),
+        ])
+        assert summary.total_sessions_dropped == 3
+        assert summary.total_state_lost == 10
+        assert summary.duration_ns == 800
+
+    def test_empty_summary_is_zero(self):
+        from repro.cluster.rolling import UpgradeSummary
+        summary = UpgradeSummary("synthetic")
+        assert summary.duration_ns == 0
+        assert summary.total_sessions_dropped == 0
+        assert summary.total_state_lost == 0
+
+
 class TestRollingRestartUpgrade:
     def test_long_lived_sessions_are_dropped(self):
         _, balancer = make_cluster(2)
