@@ -10,6 +10,7 @@
     python -m repro all           # everything above, in order
     python -m repro experiments   # emit EXPERIMENTS.md to stdout
     python -m repro lint          # mvelint: static rule/transformer checks
+    python -m repro prove kvstore # MVE8xx divergence prover + certificate
     python -m repro perf          # wall-clock benchmark of the simulator
     python -m repro trace fig6    # traced semantic companion run
     python -m repro chaos kvstore # fault-injection campaign + invariants
@@ -54,6 +55,10 @@ def main(argv=None) -> int:
         # mvelint has its own flags; dispatch before experiment parsing.
         from repro.analysis.cli import lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "prove":
+        # the MVE8xx divergence prover has its own flags too.
+        from repro.analysis.prover import prove_main
+        return prove_main(argv[1:])
     if argv and argv[0] == "perf":
         # the perf harness has its own flags too.
         from repro.perf.cli import perf_main
@@ -76,9 +81,11 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(_COMMANDS) + ["all", "chaos",
                                                      "fleet", "lint",
-                                                     "perf", "trace"],
+                                                     "perf", "prove",
+                                                     "trace"],
                         help="which experiment to run ('lint' runs the "
-                             "mvelint static analyzers; 'perf' the "
+                             "mvelint static analyzers; 'prove' the "
+                             "MVE8xx divergence prover; 'perf' the "
                              "wall-clock benchmark harness; 'trace' a "
                              "traced semantic companion; 'chaos' a "
                              "fault-injection campaign; 'fleet' a "

@@ -20,27 +20,48 @@ divergences or corrupted heaps:
   injection sites, illegal fault kinds, or malformed triggers (MVE6xx);
 * :mod:`repro.analysis.fleet_lint` — fleet topologies whose upgrade
   waves are wider than the replication factor, or malformed shard /
-  replica / wave counts (MVE7xx).
+  replica / wave counts (MVE7xx);
+* :mod:`repro.analysis.prover` — the symbolic divergence prover:
+  exhaustive exploration of the cross-version protocol state space with
+  executable counterexample witnesses and ``repro-proof/1``
+  certificates (MVE8xx, over :mod:`repro.analysis.effects`,
+  :mod:`repro.analysis.state_space`, :mod:`repro.analysis.witness`).
 
-Run it via ``python -m repro lint [--json] [--app APP]``; see
-``docs/linting.md`` for the finding codes and CI gating.
+Run it via ``python -m repro lint [--format human|json|sarif]
+[--app APP] [--prove]`` or ``python -m repro prove APP``; see
+``docs/linting.md`` for the finding codes, exit-code contract, and CI
+gating.
 """
 
 from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
 from repro.analysis.chaos_lint import lint_fault_plan, lint_fault_plans
 from repro.analysis.coverage import check_coverage
-from repro.analysis.findings import Finding, LintReport, Severity
+from repro.analysis.findings import (Finding, LintReport, RULE_METADATA,
+                                     Severity)
 from repro.analysis.fleet_lint import lint_fleet_topologies, lint_fleet_topology
 from repro.analysis.paths import audit_paths
+from repro.analysis.prover import ProveResult, certificate_json, prove_app, prove_main
 from repro.analysis.rules_lint import lint_rules
+from repro.analysis.sarif import report_to_sarif, sarif_json
 from repro.analysis.transform_audit import audit_transforms, seeded_heap
+from repro.analysis.witness import Witness, compile_witness, replay_witness
 from repro.analysis.cli import lint_main, run_app, run_catalog
 
 __all__ = [
     "AppConfig",
     "Finding",
     "LintReport",
+    "ProveResult",
+    "RULE_METADATA",
     "Severity",
+    "Witness",
+    "certificate_json",
+    "compile_witness",
+    "prove_app",
+    "prove_main",
+    "replay_witness",
+    "report_to_sarif",
+    "sarif_json",
     "audit_paths",
     "audit_transforms",
     "check_coverage",

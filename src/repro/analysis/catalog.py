@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import importlib.util
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.dsu.transform import TransformRegistry
 from repro.dsu.version import VersionRegistry
@@ -47,6 +47,15 @@ class AppConfig:
     #: ``(code, location_substring)`` pairs of accepted findings; keep a
     #: comment next to each entry saying *why* it is acceptable.
     allow: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    #: ``server_factory(version)`` builds the app's real server for the
+    #: prover's witness replay; ``None`` falls back to the generic
+    #: :class:`repro.servers.base.Server`.
+    server_factory: Optional[Callable[[object], object]] = None
+
+
+def _kvstore_server(version):
+    from repro.servers.kvstore.versions import KVStoreServer
+    return KVStoreServer(version)
 
 
 def _kvstore_config() -> AppConfig:
@@ -93,7 +102,14 @@ def _kvstore_config() -> AppConfig:
             ("MVE201", "updated-leader command PUT-number"),
             ("MVE201", "updated-leader command PUT-date"),
             ("MVE201", "updated-leader command TYPE"),
+            # The prover reaches the same §3.3.2 configurations and
+            # confirms them dynamically: the old follower diverges on
+            # the new-only commands and is terminated, by design.
+            ("MVE801", "updated-leader command PUT-number"),
+            ("MVE801", "updated-leader command PUT-date"),
+            ("MVE801", "updated-leader command TYPE"),
         ),
+        server_factory=_kvstore_server,
     )
 
 

@@ -1,14 +1,24 @@
 """The ``python -m repro lint`` entry point.
 
-Runs all seven mvelint analyzers over an app catalog and prints either a
-human-readable report or machine-readable JSON (``--json``) whose shape
-is documented in ``docs/linting.md``.  The exit status is 0 when no
-non-allowlisted ERROR finding exists, 1 otherwise — CI gates on it.
+Runs all eight mvelint analyzers over an app catalog and prints the
+report in one of three formats (``--format human|json|sarif``; the
+legacy ``--json`` flag is an alias for ``--format json`` and emits
+byte-identical output).  The exit status contract, documented in
+``docs/linting.md`` and relied on by CI:
+
+* **0** — no non-allowlisted ERROR finding;
+* **1** — at least one non-allowlisted ERROR finding;
+* **2** — an analyzer crashed (internal error, not a lint verdict).
+
+The symbolic divergence prover (analyzer 8, MVE8xx) performs dynamic
+witness replay and is therefore opt-in for ``lint``: pass ``--prove``
+(or run ``python -m repro prove APP`` for the full certificate).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.catalog import AppConfig, default_catalog, load_catalog
@@ -22,8 +32,12 @@ from repro.analysis.trace_lint import lint_trace_tags
 from repro.analysis.transform_audit import audit_transforms
 from repro.errors import NoUpdatePath
 
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CRASH = 2
 
-def run_app(config: AppConfig) -> LintReport:
+
+def run_app(config: AppConfig, *, prove: bool = False) -> LintReport:
     """Run all analyzers over one app; allowlist already applied."""
     report = LintReport(apps=[config.name])
     app = config.name
@@ -53,37 +67,52 @@ def run_app(config: AppConfig) -> LintReport:
                                    config.seed_requests))
     report.extend(lint_fault_plans(app, config.fault_plans))
     report.extend(lint_fleet_topologies(app, config.fleet_topologies))
+    if prove:
+        from repro.analysis.prover import prove_app
+        prove_result = prove_app(config)
+        report.extend(prove_result.report.findings)
     report.apply_allowlist(app, config.allow)
     return report
 
 
 def run_catalog(catalog: Dict[str, AppConfig],
-                apps: Optional[Iterable[str]] = None) -> LintReport:
+                apps: Optional[Iterable[str]] = None, *,
+                prove: bool = False) -> LintReport:
     """Run all analyzers over (a subset of) a catalog."""
     selected = list(apps) if apps else list(catalog)
     report = LintReport()
     for name in selected:
-        app_report = run_app(catalog[name])
+        app_report = run_app(catalog[name], prove=prove)
         report.apps.extend(app_report.apps)
         report.extend(app_report.findings)
     return report
 
 
 def lint_main(argv: Optional[Iterable[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (0/1/2)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="mvelint: statically check rewrite rules, state "
                     "transformers, and update paths before deploying.")
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
+                        default=None,
+                        help="report format (default: human)")
     parser.add_argument("--json", action="store_true",
-                        help="emit a machine-readable JSON report")
+                        help="alias for --format json")
     parser.add_argument("--app", action="append", metavar="APP",
                         help="limit analysis to APP (repeatable)")
     parser.add_argument("--catalog", metavar="PATH",
                         help="Python file exposing catalog() -> "
                              "{name: AppConfig}; defaults to the "
                              "built-in server catalog")
+    parser.add_argument("--prove", action="store_true",
+                        help="also run the MVE8xx symbolic divergence "
+                             "prover (slower: replays witnesses "
+                             "dynamically)")
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.format and args.json and args.format != "json":
+        parser.error("--json conflicts with --format " + args.format)
+    fmt = args.format or ("json" if args.json else "human")
 
     if args.catalog:
         try:
@@ -97,23 +126,34 @@ def lint_main(argv: Optional[Iterable[str]] = None) -> int:
         if unknown:
             parser.error(f"unknown app(s): {', '.join(unknown)} "
                          f"(catalog has: {', '.join(sorted(catalog))})")
-    report = run_catalog(catalog, args.app)
 
-    if args.json:
+    try:
+        report = run_catalog(catalog, args.app, prove=args.prove)
+    except Exception as exc:
+        # An analyzer crash is an mvelint bug, not a lint verdict; keep
+        # it distinguishable from real findings in CI.
+        print(f"mvelint: internal error: {exc!r}", file=sys.stderr)
+        return EXIT_CRASH
+
+    if fmt == "json":
         print(report.to_json())
+    elif fmt == "sarif":
+        from repro.analysis.sarif import sarif_json
+        print(sarif_json(report))
     else:
         _print_human(report)
-    return 1 if report.has_errors else 0
+    return EXIT_FINDINGS if report.has_errors else EXIT_CLEAN
 
 
 def _print_human(report: LintReport) -> None:
-    print(f"mvelint: analyzed {', '.join(report.apps)}")
+    print(f"mvelint: analyzed {', '.join(dict.fromkeys(report.apps))}")
     for finding in report.sorted_findings():
         print(finding.render())
     errors = report.count(Severity.ERROR)
     warnings = report.count(Severity.WARNING)
     infos = report.count(Severity.INFO)
-    allowlisted = sum(1 for f in report.findings if f.allowlisted)
+    allowlisted = sum(1 for f in report.deduped_findings()
+                      if f.allowlisted)
     print(f"{errors} error(s), {warnings} warning(s), {infos} info(s), "
           f"{allowlisted} allowlisted")
     if not report.has_errors:

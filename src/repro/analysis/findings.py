@@ -14,7 +14,12 @@ MVE4xx update-path audit (:mod:`repro.analysis.paths`)
 MVE5xx trace-annotation lint (:mod:`repro.analysis.trace_lint`)
 MVE6xx fault-plan lint (:mod:`repro.analysis.chaos_lint`)
 MVE7xx fleet-topology lint (:mod:`repro.analysis.fleet_lint`)
+MVE8xx symbolic divergence prover (:mod:`repro.analysis.prover`)
 ====== ==========================================================
+
+:data:`RULE_METADATA` names every code for external report formats
+(SARIF); :meth:`LintReport.sorted_findings` defines the one canonical
+ordering and dedupes identical findings emitted by multiple analyzers.
 """
 
 from __future__ import annotations
@@ -23,6 +28,53 @@ import enum
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List
+
+
+#: Short descriptions for every finding code, keyed by code.  External
+#: report formats (SARIF's ``rules`` array) and docs are generated from
+#: this table, so adding an analyzer means adding its codes here.
+RULE_METADATA: Dict[str, str] = {
+    "MVE101": "duplicate rule name within one rule set",
+    "MVE102": "rule unreachable: an earlier rule matches a prefix of "
+              "everything it matches",
+    "MVE103": "overlapping rules with different emit sequences; "
+              "priority order silently decides",
+    "MVE104": "rule can never fire: it matches response text its "
+              "leader stage never produces",
+    "MVE105": "rule pattern pins a concrete fd assigned at runtime",
+    "MVE106": "payload variable bound but never used",
+    "MVE107": "rules crowd one first-pattern dispatch bucket",
+    "MVE201": "command delta with no covering rewrite rule",
+    "MVE202": "response-text delta with no covering rewrite rule",
+    "MVE203": "rule references a command neither version speaks",
+    "MVE301": "state transformer raised or returned no heap",
+    "MVE302": "state transformer drops live heap keys or entries",
+    "MVE303": "state transformer changes a value's kind or returns a "
+              "non-heap",
+    "MVE304": "state transformer mutates its input yet returns a "
+              "different heap",
+    "MVE305": "state transformer is non-deterministic across equal "
+              "heaps",
+    "MVE306": "transformed entry carries a null field the new version "
+              "must backfill",
+    "MVE401": "update pair without a registered state transformer",
+    "MVE402": "rule-set factory raised or returned no rule set",
+    "MVE403": "release unreachable via registered transformers",
+    "MVE404": "transformer references an unknown version",
+    "MVE501": "suppressing rule without a forensic trace tag",
+    "MVE601": "fault plan references an unknown injection site or kind",
+    "MVE602": "fault trigger is malformed",
+    "MVE701": "upgrade wave wider than the replication factor",
+    "MVE702": "upgrade wave covers every replica of a shard at once",
+    "MVE703": "malformed fleet topology (counts below one)",
+    "MVE801": "reachable configuration where versions diverge and no "
+              "rule fires",
+    "MVE802": "a rule fires on the diverging transition but its effect "
+              "still diverges",
+    "MVE803": "rule never fires in any reachable configuration",
+    "MVE804": "two rules match the same window with different effects "
+              "(non-confluent overlap)",
+}
 
 
 class Severity(enum.Enum):
@@ -89,14 +141,42 @@ class LintReport:
     def extend(self, findings: Iterable[Finding]) -> None:
         self.findings.extend(findings)
 
+    def deduped_findings(self) -> List[Finding]:
+        """The raw findings with cross-analyzer duplicates folded.
+
+        Two analyzers occasionally agree on the same defect (same code,
+        severity, app, location, and message — e.g. an overlap both the
+        rule lint and the prover can see); reporting it twice inflates
+        the counts and makes CI diffs noisy.  The first emitter (by
+        analyzer name, for determinism) wins; an allowlisted copy
+        allowlists the survivor.
+        """
+        merged: Dict[tuple, Finding] = {}
+        for finding in self.findings:
+            key = (finding.code, finding.severity, finding.app,
+                   finding.location, finding.message)
+            kept = merged.get(key)
+            if kept is None:
+                merged[key] = finding
+                continue
+            winner = min(kept, finding, key=lambda f: f.analyzer)
+            if (kept.allowlisted or finding.allowlisted) \
+                    and not winner.allowlisted:
+                winner = replace(winner, allowlisted=True)
+            merged[key] = winner
+        return list(merged.values())
+
     def sorted_findings(self) -> List[Finding]:
-        return sorted(self.findings,
-                      key=lambda f: (f.severity.rank, f.app, f.code,
-                                     f.location))
+        """The canonical report order: severity rank, then code, then
+        subject (app, location, message) — fully deterministic and
+        independent of analyzer execution order.  Deduped."""
+        return sorted(self.deduped_findings(),
+                      key=lambda f: (f.severity.rank, f.code, f.app,
+                                     f.location, f.message))
 
     def count(self, severity: Severity, *,
               include_allowlisted: bool = False) -> int:
-        return sum(1 for f in self.findings
+        return sum(1 for f in self.deduped_findings()
                    if f.severity is severity
                    and (include_allowlisted or not f.allowlisted))
 
@@ -106,13 +186,14 @@ class LintReport:
         return self.count(Severity.ERROR) > 0
 
     def as_dict(self) -> Dict[str, Any]:
+        deduped = self.deduped_findings()
         return {
-            "apps": list(self.apps),
+            "apps": list(dict.fromkeys(self.apps)),
             "findings": [f.as_dict() for f in self.sorted_findings()],
             "errors": self.count(Severity.ERROR),
             "warnings": self.count(Severity.WARNING),
             "infos": self.count(Severity.INFO),
-            "allowlisted": sum(1 for f in self.findings if f.allowlisted),
+            "allowlisted": sum(1 for f in deduped if f.allowlisted),
             "ok": not self.has_errors,
         }
 

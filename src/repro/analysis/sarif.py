@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 rendering of a :class:`~repro.analysis.findings.LintReport`.
+
+GitHub code scanning ingests SARIF and annotates pull requests inline,
+so ``python -m repro lint --format sarif`` lets CI surface mvelint
+findings next to the diff.  The emitted document is deliberately
+minimal but valid: one ``run`` with the full MVE1xx–8xx rule table
+(generated from :data:`~repro.analysis.findings.RULE_METADATA` so it
+can never drift from the analyzers), one ``result`` per finding.
+
+mvelint findings locate *configuration*, not files — an app's catalog
+entry names version registries and rule sets, not line numbers — so
+each result carries its app/location subject as a logical location and
+a synthetic artifact URI (``mvelint://<app>``).  Allowlisted findings
+are suppressed ``inSource``, matching how the exit code ignores them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.findings import (Finding, LintReport, RULE_METADATA,
+                                     Severity)
+
+#: SARIF schema constants.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rules() -> list:
+    return [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            # Severity is per-finding (stage-dependent for MVE2xx/8xx);
+            # each result carries its own level.
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for code, summary in sorted(RULE_METADATA.items())
+    ]
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f"mvelint://{finding.app}"},
+            },
+            "logicalLocations": [{
+                "fullyQualifiedName": f"{finding.app}::{finding.location}",
+            }],
+        }],
+        "properties": {
+            "analyzer": finding.analyzer,
+            "app": finding.app,
+        },
+    }
+    if finding.allowlisted:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": "accepted by the app's catalog allowlist",
+        }]
+    return result
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run, as a dict."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "mvelint",
+                    "informationUri":
+                        "https://github.com/placeholder/repro",
+                    "rules": _rules(),
+                },
+            },
+            "results": [_result(f) for f in report.sorted_findings()],
+            "properties": {
+                "apps": list(dict.fromkeys(report.apps)),
+            },
+        }],
+    }
+
+
+def sarif_json(report: LintReport, *, indent: int = 2) -> str:
+    """Deterministic JSON rendering of :func:`report_to_sarif`."""
+    return json.dumps(report_to_sarif(report), indent=indent,
+                      sort_keys=True)

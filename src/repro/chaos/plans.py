@@ -49,6 +49,17 @@ def e2_transform_plan() -> FaultPlan:
     ))
 
 
+def witness_plan(name: str) -> FaultPlan:
+    """A fault-free plan for prover witness replays.
+
+    The MVE8xx prover replays each divergence witness as a chaos cell so
+    it runs under the exact instrumentation (injector hooks, invariant
+    checks) the campaign grid uses — but with zero faults armed: the
+    witness itself must cause the divergence, not an injected error.
+    """
+    return FaultPlan(f"witness:{name}", ())
+
+
 def e3_timing_plan(rng: random.Random,
                    probability: float = 0.75) -> FaultPlan:
     """E3: every quiesce attempt races the update signal against live

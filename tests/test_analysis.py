@@ -494,3 +494,145 @@ class TestCatalogAndCli:
         out = capsys.readouterr().out
         assert "mvelint: analyzed snort" in out
         assert "ok: no blocking findings" in out
+
+
+class TestReportDedupeAndOrdering:
+    """Satellite: LintReport folds cross-analyzer duplicates and sorts
+    findings deterministically (severity rank, code, subject)."""
+
+    @staticmethod
+    def _finding(code="MVE201", severity=Severity.ERROR, analyzer="a",
+                 app="app", location="loc", message="msg",
+                 allowlisted=False):
+        from repro.analysis import Finding
+        return Finding(code, severity, analyzer, app, location, message,
+                       allowlisted)
+
+    def test_identical_findings_from_two_analyzers_dedupe(self):
+        from repro.analysis import LintReport
+        report = LintReport(apps=["app"])
+        report.extend([self._finding(analyzer="coverage"),
+                       self._finding(analyzer="prove")])
+        assert len(report.deduped_findings()) == 1
+        assert report.count(Severity.ERROR) == 1
+        # First analyzer name wins, deterministically.
+        assert report.sorted_findings()[0].analyzer == "coverage"
+
+    def test_allowlisted_copy_allowlists_the_survivor(self):
+        from repro.analysis import LintReport
+        report = LintReport(apps=["app"])
+        report.extend([self._finding(analyzer="prove", allowlisted=True),
+                       self._finding(analyzer="coverage")])
+        survivor = report.sorted_findings()[0]
+        assert survivor.allowlisted
+        assert not report.has_errors
+
+    def test_distinct_messages_do_not_dedupe(self):
+        from repro.analysis import LintReport
+        report = LintReport(apps=["app"])
+        report.extend([self._finding(message="one"),
+                       self._finding(message="two")])
+        assert len(report.deduped_findings()) == 2
+
+    def test_ordering_is_severity_code_subject(self):
+        from repro.analysis import LintReport
+        report = LintReport(apps=["app"])
+        report.extend([
+            self._finding(code="MVE301", severity=Severity.WARNING),
+            self._finding(code="MVE101", severity=Severity.WARNING),
+            self._finding(code="MVE801", severity=Severity.ERROR),
+            self._finding(code="MVE101", severity=Severity.WARNING,
+                          location="aaa"),
+        ])
+        ordered = [(f.severity.value, f.code, f.location)
+                   for f in report.sorted_findings()]
+        assert ordered == [("error", "MVE801", "loc"),
+                           ("warning", "MVE101", "aaa"),
+                           ("warning", "MVE101", "loc"),
+                           ("warning", "MVE301", "loc")]
+
+    def test_ordering_independent_of_insertion_order(self):
+        import random
+        from repro.analysis import LintReport
+        base = [self._finding(code=c, severity=s, location=l)
+                for c, s, l in
+                [("MVE101", Severity.ERROR, "x"),
+                 ("MVE201", Severity.WARNING, "y"),
+                 ("MVE801", Severity.INFO, "z"),
+                 ("MVE801", Severity.ERROR, "w")]]
+        rng = random.Random(7)
+        reference = None
+        for _ in range(5):
+            shuffled = list(base)
+            rng.shuffle(shuffled)
+            report = LintReport(apps=["app"])
+            report.extend(shuffled)
+            rendered = [f.render() for f in report.sorted_findings()]
+            if reference is None:
+                reference = rendered
+            assert rendered == reference
+
+
+class TestCliExitCodesAndFormats:
+    """Satellite: exit-code contract (0/1/2) and report formats."""
+
+    def test_exit_zero_on_clean(self, capsys):
+        assert lint_main(["--app", "snort"]) == 0
+        capsys.readouterr()
+
+    def test_exit_one_on_error_findings(self, capsys):
+        assert lint_main(["--catalog", FIXTURE_CATALOG]) == 1
+        capsys.readouterr()
+
+    def test_exit_two_on_analyzer_crash(self, capsys, monkeypatch):
+        import repro.analysis.cli as cli_mod
+        def boom(*args, **kwargs):
+            raise RuntimeError("analyzer exploded")
+        monkeypatch.setattr(cli_mod, "run_catalog", boom)
+        assert cli_mod.lint_main(["--app", "snort"]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_format_json_matches_json_flag_byte_for_byte(self, capsys):
+        assert lint_main(["--json", "--app", "kvstore"]) == 0
+        via_flag = capsys.readouterr().out
+        assert lint_main(["--format", "json", "--app", "kvstore"]) == 0
+        via_format = capsys.readouterr().out
+        assert via_flag == via_format
+
+    def test_conflicting_format_flags_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--json", "--format", "sarif"])
+        capsys.readouterr()
+
+    def test_sarif_document_shape(self, capsys):
+        assert lint_main(["--format", "sarif", "--app", "kvstore"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "mvelint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        # Every analyzer's codes are registered, MVE1xx through MVE8xx.
+        for code in ("MVE101", "MVE201", "MVE301", "MVE401", "MVE501",
+                     "MVE601", "MVE701", "MVE801", "MVE804"):
+            assert code in rule_ids
+        # kvstore's three allowlisted MVE201 findings are suppressed.
+        results = run["results"]
+        assert len(results) == 3
+        assert all(r["ruleId"] == "MVE201" for r in results)
+        assert all(r["suppressions"][0]["kind"] == "inSource"
+                   for r in results)
+
+    def test_sarif_levels_map_severities(self, capsys):
+        assert lint_main(["--format", "sarif", "--catalog",
+                          FIXTURE_CATALOG]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert "error" in levels
+
+    def test_lint_prove_flag_runs_analyzer_eight(self, capsys):
+        assert lint_main(["--json", "--app", "kvstore", "--prove"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        prover_findings = [f for f in payload["findings"]
+                           if f["analyzer"] == "prove"]
+        assert prover_findings
+        assert all(f["allowlisted"] for f in prover_findings)
