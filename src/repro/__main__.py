@@ -15,12 +15,14 @@
     python -m repro trace fig6    # traced semantic companion run
     python -m repro chaos kvstore # fault-injection campaign + invariants
     python -m repro fleet canary-kvstore  # sharded fleet canary upgrade
+    python -m repro replay STREAM # re-drive a version against a recording
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
-(``--quick``, ``--json``, ``--scenario NAME``, ``--repeat K``); it
-measures how fast the simulator itself runs and writes the
-``BENCH_perf.json`` trajectory file — see ``docs/performance.md``.
+(``--quick``, ``--json``, ``--scenario NAME``, ``--repeat K``,
+``--workers N``, ``--diff BASELINE``); it measures how fast the
+simulator itself runs and writes the ``BENCH_perf.json`` trajectory
+file — see ``docs/performance.md``.
 ``trace`` runs an experiment's semantic companion with the structured
 tracer installed and writes a JSONL trace (``--quick``, ``--out PATH``,
 ``--check``) — see ``docs/observability.md``.  Any experiment also
@@ -75,6 +77,10 @@ def main(argv=None) -> int:
         # and the fleet orchestrator.
         from repro.cluster.cli import fleet_main
         return fleet_main(argv[1:])
+    if argv and argv[0] == "replay":
+        # and the stream replayer.
+        from repro.replay.cli import replay_main
+        return replay_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
@@ -82,14 +88,15 @@ def main(argv=None) -> int:
                         choices=sorted(_COMMANDS) + ["all", "chaos",
                                                      "fleet", "lint",
                                                      "perf", "prove",
-                                                     "trace"],
+                                                     "replay", "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'prove' the "
                              "MVE8xx divergence prover; 'perf' the "
                              "wall-clock benchmark harness; 'trace' a "
                              "traced semantic companion; 'chaos' a "
                              "fault-injection campaign; 'fleet' a "
-                             "sharded canary upgrade)")
+                             "sharded canary upgrade; 'replay' re-drives "
+                             "a version against a recorded stream)")
     parser.add_argument("--trace", metavar="PATH", dest="trace_path",
                         help="run with the structured tracer installed "
                              "and write a JSONL trace to PATH afterwards")

@@ -86,12 +86,15 @@ def _param_for(site: str, kind: str, seed: int) -> Dict[str, Any]:
     return {}
 
 
-def default_grid(site_calls: Dict[str, int], seed: int) -> List[Fault]:
+def default_grid(site_calls: Dict[str, int], seed: int, *,
+                 oncall_cap: int = ONCALL_CAP) -> List[Fault]:
     """The full (site × kind × trigger) sweep for one scenario.
 
     ``site_calls`` comes from a fault-free probe run and bounds the
     ``on-call`` index range per site, so every on-call cell is reachable
-    (a count of zero yields no cells for that site).
+    (a count of zero yields no cells for that site).  ``oncall_cap``
+    bounds the per-(site, kind) index sweep; raising it on the CLI
+    (``--oncall-cap``) widens the grid without a source edit.
     """
     faults: List[Fault] = []
 
@@ -102,7 +105,7 @@ def default_grid(site_calls: Dict[str, int], seed: int) -> List[Fault]:
     for site in ("kernel.read", "kernel.write", "kernel.accept",
                  "mve.leader", "mve.follower", "mve.ring",
                  "dsu.update", "dsu.quiesce", "dsu.transform"):
-        calls = min(site_calls.get(site, 0), ONCALL_CAP)
+        calls = min(site_calls.get(site, 0), oncall_cap)
         for kind in SITES[site]:
             for index in range(1, calls + 1):
                 add(site, kind, on_call(index))
@@ -192,18 +195,76 @@ def run_cell(plan: FaultPlan) -> ChaosRunResult:
         return run_kv_update_scenario()
 
 
+def cell_entry(name: str, cell_plan: FaultPlan, result: ChaosRunResult,
+               golden: ChaosRunResult) -> Dict[str, Any]:
+    """Classify one cell's run and build its report entry.
+
+    Pure given its inputs — the serial loop and the parallel workers
+    both call this, which is what keeps their reports byte-identical.
+    """
+    outcome, detail = classify(result, golden)
+    first_at = result.injections[0]["at"] if result.injections else None
+    latency = None
+    if first_at is not None and result.recovery_at is not None:
+        latency = max(0, result.recovery_at - first_at)
+    lead = cell_plan.faults[0] if cell_plan.faults else None
+    entry: Dict[str, Any] = {
+        "name": name,
+        "site": lead.site if lead else "",
+        "kind": lead.kind if lead else "",
+        "trigger": lead.trigger.as_dict() if lead else None,
+        "outcome": outcome,
+        "detail": detail,
+        "injections": result.injections,
+        "first_injection_at": first_at,
+        "recovery_latency_ns": latency,
+        "final_version": result.final_version,
+        "update_reason": result.update_reason,
+    }
+    if result.forensics is not None:
+        entry["forensics"] = result.forensics
+    return entry
+
+
+def _run_golden(record: Optional[str] = None,
+                scenario: str = "kvstore") -> ChaosRunResult:
+    """The fault-free baseline run, optionally recorded to ``record``."""
+    if record is None:
+        return run_kv_update_scenario()
+    from repro.replay.recorder import StreamRecorder, recording
+    recorder = StreamRecorder(scenario=scenario)
+    with recording(recorder):
+        golden = run_kv_update_scenario()
+    recorder.write(record)
+    return golden
+
+
 def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
                  max_cells: Optional[int] = None,
-                 plan: Optional[FaultPlan] = None) -> Dict[str, Any]:
+                 plan: Optional[FaultPlan] = None,
+                 workers: int = 1,
+                 oncall_cap: int = ONCALL_CAP,
+                 mp_method: Optional[str] = None,
+                 record: Optional[str] = None) -> Dict[str, Any]:
     """Run the full campaign and return the ``repro-chaos/1`` report.
 
     With ``plan`` the campaign runs that single (possibly multi-fault)
     plan as its only cell instead of the generated grid; ``max_cells``
-    truncates the grid to a deterministic prefix.
+    truncates the grid to a deterministic prefix.  ``workers > 1``
+    shards grid cells across processes (see
+    :mod:`repro.chaos.parallel`); the merged report is byte-identical
+    to the serial run for the same seed, so the serial path stays the
+    golden reference.  ``record`` writes a ``repro-stream/1`` artifact
+    of the baseline run — or, with ``plan``, of the faulted run itself,
+    so the recording carries the plan in force.
     """
     if scenario != "kvstore":
         raise SimulationError(f"unknown chaos scenario: {scenario!r}")
-    golden = run_kv_update_scenario()
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if oncall_cap < 1:
+        raise SimulationError(f"oncall-cap must be >= 1, got {oncall_cap}")
+    golden = _run_golden(record if plan is None else None, scenario)
     golden_problems = check_run(golden.observations, golden.final_table)
     if golden_problems:
         raise SimulationError(
@@ -211,41 +272,37 @@ def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
             + golden_problems[0])
 
     if plan is not None:
-        cells = [(plan.name, plan)]
+        if record is not None:
+            from repro.replay.recorder import StreamRecorder, recording
+            recorder = StreamRecorder(scenario=scenario)
+            with recording(recorder):
+                result = run_cell(plan)
+            recorder.write(record)
+        else:
+            result = run_cell(plan)
+        grid = [cell_entry(plan.name, plan, result, golden)]
     else:
-        grid_faults = default_grid(probe_site_calls(), seed)
+        site_calls = probe_site_calls()
+        grid_faults = default_grid(site_calls, seed, oncall_cap=oncall_cap)
         if max_cells is not None:
             grid_faults = grid_faults[:max_cells]
-        cells = [(fault.describe(), FaultPlan(fault.describe(), (fault,)))
-                 for fault in grid_faults]
+        if workers > 1 and len(grid_faults) > 1:
+            from repro.chaos.parallel import run_grid_parallel
+            grid = run_grid_parallel(
+                scenario, seed=seed, oncall_cap=oncall_cap,
+                site_calls=site_calls, n_cells=len(grid_faults),
+                max_cells=max_cells, workers=workers, method=mp_method)
+        else:
+            grid = []
+            for fault in grid_faults:
+                name = fault.describe()
+                cell_plan = FaultPlan(name, (fault,))
+                grid.append(cell_entry(name, cell_plan,
+                                       run_cell(cell_plan), golden))
 
     tally = {outcome: 0 for outcome in OUTCOMES}
-    grid: List[Dict[str, Any]] = []
-    for name, cell_plan in cells:
-        result = run_cell(cell_plan)
-        outcome, detail = classify(result, golden)
-        tally[outcome] += 1
-        first_at = result.injections[0]["at"] if result.injections else None
-        latency = None
-        if first_at is not None and result.recovery_at is not None:
-            latency = max(0, result.recovery_at - first_at)
-        lead = cell_plan.faults[0] if cell_plan.faults else None
-        entry: Dict[str, Any] = {
-            "name": name,
-            "site": lead.site if lead else "",
-            "kind": lead.kind if lead else "",
-            "trigger": lead.trigger.as_dict() if lead else None,
-            "outcome": outcome,
-            "detail": detail,
-            "injections": result.injections,
-            "first_injection_at": first_at,
-            "recovery_latency_ns": latency,
-            "final_version": result.final_version,
-            "update_reason": result.update_reason,
-        }
-        if result.forensics is not None:
-            entry["forensics"] = result.forensics
-        grid.append(entry)
+    for entry in grid:
+        tally[entry["outcome"]] += 1
 
     return {
         "schema": CHAOS_SCHEMA,

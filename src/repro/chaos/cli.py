@@ -4,12 +4,17 @@
     python -m repro chaos kvstore --max-cells 200 # bounded (CI smoke)
     python -m repro chaos kvstore --plan my.py    # one custom plan
     python -m repro chaos kvstore --report out.json
+    python -m repro chaos kvstore --workers auto  # shard across CPUs
+    python -m repro chaos kvstore --oncall-cap 48 # wider on-call sweep
+    python -m repro chaos kvstore --record STREAM # record the baseline
 
 The report is JSON with schema ``repro-chaos/1`` (see
 ``docs/chaos.md``); stdout carries the outcome tally.  Exit status is
 non-zero when any cell is classified ``invariant-violation`` or the
 written report fails its own schema validation — so CI can gate on the
-paper's core claim directly.
+paper's core claim directly.  ``--workers`` changes only wall-clock
+time, never the report: the parallel merge is deterministic and
+byte-identical to the serial run for the same seed.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.reporting import format_table
-from repro.chaos.campaign import OUTCOMES, run_campaign, validate_report
+from repro.chaos.campaign import (ONCALL_CAP, OUTCOMES, run_campaign,
+                                  validate_report)
 from repro.chaos.plan import load_plan
+from repro.replay.parallel import resolve_workers
 
 
 def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -41,14 +48,36 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the grid to its first N cells")
     parser.add_argument("--seed", type=int, default=1,
                         help="campaign seed (default: 1)")
+    parser.add_argument("--workers", default="1", metavar="N|auto",
+                        help="shard grid cells across N processes "
+                             "('auto' = one per CPU; default: 1, the "
+                             "serial golden reference)")
+    parser.add_argument("--oncall-cap", type=int, default=ONCALL_CAP,
+                        metavar="N",
+                        help="per-(site, kind) cap on the on-call index "
+                             f"sweep (default: {ONCALL_CAP})")
+    parser.add_argument("--record", metavar="PATH",
+                        help="record the fault-free baseline run (or, "
+                             "with --plan, the faulted run) as a "
+                             "repro-stream/1 artifact at PATH")
     args = parser.parse_args(argv)
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.oncall_cap < 1:
+        parser.error(f"--oncall-cap must be >= 1, got {args.oncall_cap}")
 
     plan = load_plan(args.plan) if args.plan else None
     report = run_campaign(args.scenario, seed=args.seed,
-                          max_cells=args.max_cells, plan=plan)
+                          max_cells=args.max_cells, plan=plan,
+                          workers=workers, oncall_cap=args.oncall_cap,
+                          record=args.record)
 
     print(f"chaos campaign: {args.scenario} "
-          f"({report['cells']} cells, seed {report['seed']})")
+          f"({report['cells']} cells, seed {report['seed']}, "
+          f"{workers} worker{'s' if workers != 1 else ''})")
     print()
     rows = [[outcome, str(report["outcomes"][outcome])]
             for outcome in OUTCOMES]
@@ -63,6 +92,8 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote report: {path}")
+    if args.record:
+        print(f"wrote stream: {args.record}")
 
     problems = validate_report(report)
     for problem in problems:

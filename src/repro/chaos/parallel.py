@@ -1,0 +1,66 @@
+"""Parallel execution of the chaos campaign grid.
+
+Grid cells are embarrassingly parallel — each is one independent
+scenario run under its own injector — but the :class:`Fault` objects
+are not picklable (predicate triggers, version factories, seeded RNGs
+are closures and live objects).  So workers never receive faults: they
+receive a picklable *description* of the grid — ``(scenario, seed,
+oncall_cap, site_calls, max_cells)`` plus their assigned cell indices —
+and regenerate the exact grid locally via
+:func:`~repro.chaos.campaign.default_grid`, relying on the same
+determinism the report schema already pins (same seed → same grid).
+
+Each worker also runs its own fault-free golden baseline (a few
+milliseconds) rather than shipping one across the process boundary.
+Results come back as ``(index, entry)`` pairs and the parent reorders
+them, so the merged report is byte-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.replay.parallel import run_sharded, shard_round_robin
+
+#: One shard's work order: everything needed to regenerate the grid
+#: plus the cell indices this worker owns.  All entries picklable.
+ShardArgs = Tuple[str, int, int, Dict[str, int], Optional[int], List[int]]
+
+
+def run_shard(args: ShardArgs) -> List[Tuple[int, Dict[str, Any]]]:
+    """Run one worker's cells; returns ``(cell_index, entry)`` pairs.
+
+    Top-level by design: multiprocessing's spawn start method pickles
+    the worker function by qualified name.
+    """
+    scenario, seed, oncall_cap, site_calls, max_cells, indices = args
+    from repro.chaos.campaign import (cell_entry, default_grid, run_cell)
+    from repro.chaos.plan import FaultPlan
+    from repro.chaos.scenarios import run_kv_update_scenario
+    golden = run_kv_update_scenario()
+    grid_faults = default_grid(site_calls, seed, oncall_cap=oncall_cap)
+    if max_cells is not None:
+        grid_faults = grid_faults[:max_cells]
+    out: List[Tuple[int, Dict[str, Any]]] = []
+    for index in indices:
+        fault = grid_faults[index]
+        name = fault.describe()
+        plan = FaultPlan(name, (fault,))
+        out.append((index, cell_entry(name, plan, run_cell(plan), golden)))
+    return out
+
+
+def run_grid_parallel(scenario: str, *, seed: int, oncall_cap: int,
+                      site_calls: Dict[str, int], n_cells: int,
+                      max_cells: Optional[int], workers: int,
+                      method: Optional[str] = None) \
+        -> List[Dict[str, Any]]:
+    """The whole grid across ``workers`` processes, in cell order."""
+    shards = shard_round_robin(n_cells, workers)
+    shard_args: List[ShardArgs] = [
+        (scenario, seed, oncall_cap, dict(site_calls), max_cells, shard)
+        for shard in shards]
+    results = run_sharded(run_shard, shard_args, workers, method=method)
+    indexed = [pair for shard_result in results for pair in shard_result]
+    indexed.sort(key=lambda pair: pair[0])
+    return [entry for _, entry in indexed]

@@ -39,6 +39,7 @@ from repro.mve.gateway import GatewayRole, IterationTrace, SyscallGateway
 from repro.mve.ring_buffer import BufferFull, RingBuffer
 from repro.obs.forensics import ForensicsBundle, build_divergence_bundle
 from repro.net.kernel import VirtualKernel
+from repro.replay.recorder import current_recorder
 from repro.net.sockets import Endpoint
 from repro.sim.process import CpuAccount
 from repro.syscalls.costs import AppProfile, ExecutionMode, FORK_PAUSE_NS
@@ -155,6 +156,13 @@ class VaranRuntime:
         self._last_engine = None
         #: Forensics bundle for the most recent divergence, if any.
         self.last_forensics: Optional[ForensicsBundle] = None
+        #: Stream recorder (see :mod:`repro.replay`): the active one if
+        #: this runtime won the claim, else None — scenarios that build
+        #: several MVE groups record only the first, and the disabled
+        #: path stays one attribute load + ``is None`` per iteration.
+        recorder = current_recorder()
+        self.recorder = recorder if recorder is not None \
+            and recorder.claim(self) else None
 
     @property
     def tracer(self):
@@ -257,6 +265,13 @@ class VaranRuntime:
         if self.in_mve_mode:
             completion = self._publish_iteration(trace, completion)
             leader.cpu.block_until(completion)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_iteration(completion, leader.version_name,
+                                  self.in_mve_mode, trace.records)
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                tracer.on_stream_record(completion, len(trace.records))
         self.completions.append((completion, trace.requests_handled))
         return completion
 
@@ -359,6 +374,9 @@ class VaranRuntime:
         cpu = self.leader.cpu.fork("follower", at=fork_done)
         self.follower = ManagedProcess(forked, gateway, cpu, "follower")
         self.log(fork_done, "fork", forked.version.name)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_fork(fork_done, forked.version.name)
         return self.follower
 
     def drain_follower(self, *, max_iterations: Optional[int] = None) -> Optional[int]:
@@ -503,7 +521,15 @@ class VaranRuntime:
         last = None
         while self._iterations and self.follower is not None:
             last = self._replay_one()
-        return last if last is not None else start
+        done = last if last is not None else start
+        recorder = self.recorder
+        if recorder is not None:
+            # self.leader is the post-swap leader; if the follower died
+            # mid-drain the swap never happened and leadership is
+            # unchanged — new_leader reflects either outcome.
+            recorder.on_control("promote", done, event.version,
+                                self.leader.version_name)
+        return done
 
     def _swap_roles(self, at: int) -> None:
         old_leader, new_leader = self.leader, self.follower
@@ -550,6 +576,7 @@ class VaranRuntime:
 
     def _handle_leader_crash(self, at: int, trace: IterationTrace) -> int:
         """The paper's old-version-error recovery: promote the follower."""
+        crashed_version = self.leader.version_name
         self.leader.crashed = True
         if self.follower is None or self.follower.crashed:
             raise ServerCrash("leader crashed with no healthy follower",
@@ -573,6 +600,10 @@ class VaranRuntime:
         self._iterations.clear()
         self.leader_is_updated = True
         self.log(at, "follower-promoted-after-crash")
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_control("crash-promote", at, crashed_version,
+                                survivor.version_name)
         return at
 
     def _redeliver_reads(self, trace: IterationTrace) -> None:

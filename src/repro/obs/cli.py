@@ -4,12 +4,16 @@
     python -m repro trace fig6 --quick      # smaller workload (CI smoke)
     python -m repro trace faults --check    # validate the JSONL afterwards
     python -m repro trace fig7 --out t.jsonl
+    python -m repro trace fig6 --record STREAM_fig6.jsonl
 
 Runs the experiment's *semantic companion* scenario (see
 :mod:`repro.obs.scenarios`) with a tracer installed, writes the JSONL
 trace, and prints an event/metric summary — plus a forensics summary
 for every divergence the run hit.  The trace schema is documented in
-``docs/observability.md``.
+``docs/observability.md``.  ``--record`` additionally captures the
+leader's syscall stream as a ``repro-stream/1`` artifact that
+``python -m repro replay`` can re-drive offline — see
+``docs/replay.md``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from typing import Iterable, Optional
 from repro.bench.reporting import format_table
 from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
 from repro.obs.trace import DEFAULT_LAST_K, validate_trace_file
+from repro.replay.recorder import StreamRecorder, recording
 
 
 def trace_main(argv: Optional[Iterable[str]] = None) -> int:
@@ -42,15 +47,30 @@ def trace_main(argv: Optional[Iterable[str]] = None) -> int:
                         metavar="K",
                         help="ring records kept for divergence forensics "
                              "(default: %(default)s)")
+    parser.add_argument("--record", metavar="PATH",
+                        help="also record the leader's syscall stream as "
+                             "a repro-stream/1 artifact at PATH (replay "
+                             "it with 'python -m repro replay PATH')")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    tracer = run_trace_scenario(args.experiment, quick=args.quick,
-                                last_k=args.last_k)
+    recorder = (StreamRecorder(scenario=args.experiment)
+                if args.record else None)
+    if recorder is not None:
+        with recording(recorder):
+            tracer = run_trace_scenario(args.experiment, quick=args.quick,
+                                        last_k=args.last_k)
+        recorder.write(args.record)
+    else:
+        tracer = run_trace_scenario(args.experiment, quick=args.quick,
+                                    last_k=args.last_k)
     out = args.out or f"TRACE_{args.experiment}.jsonl"
     tracer.write_jsonl(out)
 
     print(f"repro trace {args.experiment}: {len(tracer.events)} events "
           f"-> {out}")
+    if recorder is not None:
+        print(f"wrote stream: {args.record} "
+              f"({recorder.iterations} iterations)")
     tally = tracer.kind_tally()
     print(format_table(
         ["event kind", "count"],

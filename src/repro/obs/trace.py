@@ -219,6 +219,11 @@ class Tracer:
         if kind == "xform" and "ns" in fields:
             self.metrics.histogram("dsu.xform_ns").observe(fields["ns"])
 
+    def on_stream_record(self, at: int, count: int) -> None:
+        """The stream recorder persisted one leader iteration."""
+        self.emit("stream.record", "replay", at=at, count=count)
+        self.metrics.counter("stream.recorded").inc(count)
+
     def on_control(self, kind: str, at: int, version: str) -> None:
         """A promote/demote control event entered the ring stream."""
         self.emit(f"control.{kind}", "mve", at=at, version=version)

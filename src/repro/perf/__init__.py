@@ -15,14 +15,18 @@ schema ``scenario -> {wall_s, vreq_per_s, syscalls_per_s}``; see
 ``docs/performance.md``.
 """
 
-from repro.perf.harness import BenchResult, run_scenarios, write_bench_json
+from repro.perf.diff import diff_bench
+from repro.perf.harness import (BenchResult, run_scenarios, validate_bench,
+                                write_bench_json)
 from repro.perf.scenarios import SCENARIOS, Scenario, rule_heavy_catalog
 
 __all__ = [
     "BenchResult",
     "SCENARIOS",
     "Scenario",
+    "diff_bench",
     "rule_heavy_catalog",
     "run_scenarios",
+    "validate_bench",
     "write_bench_json",
 ]

@@ -7,21 +7,39 @@ must not regress.  ``BENCH_perf.json`` maps each scenario name to
 gauge the scenario's thunk returned in its ``extras`` dict (ring
 pressure for the ring scenarios, recovery latency for the chaos
 scenario) — and a ``_meta`` entry that records how the run was
-parameterized.
+parameterized: ops per scenario, worker count, CPU count, and the
+scenario execution order (``repro-perf/3``).
+
+Scenarios are independent, so ``run_scenarios`` can shard them across
+worker processes (``workers > 1``).  Results come back indexed and are
+reordered to registry order, so the report differs from a serial run
+only in the wall-clock measurements themselves — every deterministic
+gauge and every key is identical.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.perf.scenarios import SCENARIOS, Scenario
 
 #: BENCH_perf.json schema identifier (bump on shape changes).
-SCHEMA = "repro-perf/2"
+SCHEMA = "repro-perf/3"
+
+#: Per-scenario keys whose values are wall-clock measurements.  They are
+#: machine-dependent by nature: the ``--diff`` gate compares them by
+#: ratio, never exactly, and parallel runs are expected to differ from
+#: serial runs only in these keys.
+WALL_CLOCK_KEYS = frozenset({"wall_s", "vreq_per_s", "syscalls_per_s"})
+
+#: ``_meta`` keys every repro-perf/3 payload must carry.
+_META_KEYS = ("schema", "quick", "ops", "python", "workers", "cpu_count",
+              "scenario_order")
 
 
 @dataclass
@@ -75,26 +93,67 @@ def run_scenario(scenario: Scenario, ops: int, *,
     return best
 
 
+def _scenario_ops(name: str, *, quick: bool, ops: Optional[int]) -> int:
+    """The operation count one scenario runs at, resolving --quick/--ops.
+    Shared by the serial loop and the shard workers so both run the
+    scenarios identically."""
+    n = ops if ops is not None else SCENARIOS[name].default_ops
+    if quick and ops is None:
+        n = max(1, n // 5)
+    return n
+
+
+def run_shard(args: Tuple[List[Tuple[int, str]], Optional[int], bool, int]) \
+        -> List[Tuple[int, BenchResult]]:
+    """Run one worker's scenarios; returns ``(index, result)`` pairs.
+
+    Top-level by design: multiprocessing's spawn start method pickles
+    the worker function by qualified name, and BenchResult (plain
+    str/int/float fields) crosses the process boundary intact.
+    """
+    indexed_names, ops, quick, repeat = args
+    out: List[Tuple[int, BenchResult]] = []
+    for index, name in indexed_names:
+        n = _scenario_ops(name, quick=quick, ops=ops)
+        out.append((index, run_scenario(SCENARIOS[name], n, repeat=repeat)))
+    return out
+
+
 def run_scenarios(names: Optional[Iterable[str]] = None, *,
                   quick: bool = False, ops: Optional[int] = None,
-                  repeat: int = 1) -> List[BenchResult]:
-    """Run the named scenarios (default: all, in registry order)."""
+                  repeat: int = 1, workers: int = 1,
+                  mp_method: Optional[str] = None) -> List[BenchResult]:
+    """Run the named scenarios (default: all, in registry order).
+
+    ``workers > 1`` shards the scenario list across processes; the
+    result list is reordered to the requested order, so only wall-clock
+    fields can differ from a serial run.
+    """
     selected = list(names) if names else list(SCENARIOS)
     unknown = [n for n in selected if n not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown scenario(s): {', '.join(unknown)} "
                        f"(have: {', '.join(SCENARIOS)})")
-    results = []
-    for name in selected:
-        scenario = SCENARIOS[name]
-        n = ops if ops is not None else scenario.default_ops
-        if quick and ops is None:
-            n = max(1, n // 5)
-        results.append(run_scenario(scenario, n, repeat=repeat))
-    return results
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and len(selected) > 1:
+        from repro.replay.parallel import run_sharded, shard_round_robin
+        shards = shard_round_robin(len(selected), workers)
+        shard_args = [([(i, selected[i]) for i in shard], ops, quick, repeat)
+                      for shard in shards]
+        shard_results = run_sharded(run_shard, shard_args, workers,
+                                    method=mp_method)
+        indexed = [pair for shard in shard_results for pair in shard]
+        indexed.sort(key=lambda pair: pair[0])
+        return [result for _, result in indexed]
+    return [run_scenario(SCENARIOS[name],
+                         _scenario_ops(name, quick=quick, ops=ops),
+                         repeat=repeat)
+            for name in selected]
 
 
-def to_bench_dict(results: List[BenchResult], *, quick: bool = False) -> Dict:
+def to_bench_dict(results: List[BenchResult], *, quick: bool = False,
+                  workers: int = 1) -> Dict:
     """The BENCH_perf.json payload: scenario -> metrics, plus ``_meta``."""
     payload: Dict[str, Dict] = {}
     for result in results:
@@ -110,14 +169,56 @@ def to_bench_dict(results: List[BenchResult], *, quick: bool = False) -> Dict:
         "quick": quick,
         "ops": {r.name: r.ops for r in results},
         "python": platform.python_version(),
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "scenario_order": [r.name for r in results],
     }
     return payload
 
 
+def validate_bench(payload: Dict) -> List[str]:
+    """Schema check for a repro-perf/3 payload; returns problem strings
+    (empty means valid).  Mirrors ``repro.chaos.campaign.validate_report``
+    so CI can gate on the artifact it just wrote."""
+    problems: List[str] = []
+    meta = payload.get("_meta")
+    if not isinstance(meta, dict):
+        return ["missing or malformed _meta"]
+    if meta.get("schema") != SCHEMA:
+        problems.append(f"schema is {meta.get('schema')!r}, want {SCHEMA!r}")
+    for key in _META_KEYS:
+        if key not in meta:
+            problems.append(f"_meta missing {key!r}")
+    for key in ("workers", "cpu_count"):
+        value = meta.get(key)
+        if key in meta and (not isinstance(value, int) or value < 1):
+            problems.append(f"_meta[{key!r}] must be a positive int, "
+                            f"got {value!r}")
+    scenario_names = sorted(k for k in payload if k != "_meta")
+    if not scenario_names:
+        problems.append("no scenario entries")
+    order = meta.get("scenario_order")
+    if isinstance(order, list) and sorted(order) != scenario_names:
+        problems.append("_meta.scenario_order does not match the "
+                        "scenario entries")
+    ops = meta.get("ops")
+    for name in scenario_names:
+        entry = payload[name]
+        if not isinstance(entry, dict):
+            problems.append(f"{name}: entry is not an object")
+            continue
+        for key in sorted(WALL_CLOCK_KEYS):
+            if not isinstance(entry.get(key), (int, float)):
+                problems.append(f"{name}: missing numeric {key!r}")
+        if isinstance(ops, dict) and name not in ops:
+            problems.append(f"_meta.ops missing {name!r}")
+    return problems
+
+
 def write_bench_json(results: List[BenchResult], path: str, *,
-                     quick: bool = False) -> None:
+                     quick: bool = False, workers: int = 1) -> None:
     """Write BENCH_perf.json (sorted keys, trailing newline)."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_bench_dict(results, quick=quick), handle, indent=2,
-                  sort_keys=True)
+        json.dump(to_bench_dict(results, quick=quick, workers=workers),
+                  handle, indent=2, sort_keys=True)
         handle.write("\n")

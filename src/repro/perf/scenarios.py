@@ -27,10 +27,15 @@ Scenario catalogue:
 * ``fleet-canary-upgrade`` — the sharded-fleet canary scenario
   (``repro.cluster.fleet``): two upgrade rounds over seeded traffic,
   reporting the fleet's rollback and MVE-budget gauges.
+* ``chaos-campaign-parallel`` — the chaos campaign grid serial vs
+  sharded across 8 workers, recording the measured speedup and a
+  byte-identity check between the two reports.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -288,6 +293,51 @@ def build_chaos_recovery(ops: int) -> Thunk:
 
 
 # ---------------------------------------------------------------------------
+# Parallel-campaign scenario: serial golden run vs sharded execution
+# ---------------------------------------------------------------------------
+
+def build_chaos_campaign_parallel(ops: int) -> Thunk:
+    """The chaos campaign over its first ``ops`` grid cells, run twice:
+    serially (the golden reference) and sharded across 8 workers.
+
+    The deterministic gauges pin what must never regress: the cell
+    count, the worker count, and — the whole point of the parallel
+    executor — that the two reports are byte-identical.  The wall-clock
+    extras (``*_wall_ms``, ``*_speedup_pct``) record the measured
+    speedup honestly; on a box with fewer cores than workers the
+    "speedup" is a slowdown, which is exactly what the trajectory file
+    should say for that machine.
+    """
+    # Imported lazily: the chaos package pulls in the full server stack.
+    from repro.chaos.campaign import run_campaign
+
+    workers = 8
+
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        start = time.perf_counter()
+        serial = run_campaign("kvstore", seed=1, max_cells=ops)
+        serial_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_campaign("kvstore", seed=1, max_cells=ops,
+                                workers=workers)
+        parallel_wall = time.perf_counter() - start
+        identical = (json.dumps(serial, sort_keys=True)
+                     == json.dumps(parallel, sort_keys=True))
+        extras = {
+            "campaign_cells": serial["cells"],
+            "campaign_workers": workers,
+            "reports_identical": int(identical),
+            "serial_wall_ms": int(serial_wall * 1000),
+            "parallel_wall_ms": int(parallel_wall * 1000),
+            "campaign_speedup_pct": (
+                int(round(100 * serial_wall / parallel_wall))
+                if parallel_wall > 0 else 0),
+        }
+        return 2 * serial["cells"], 0, extras
+    return thunk
+
+
+# ---------------------------------------------------------------------------
 # Fleet scenario: canary-staged upgrades across a sharded fleet
 # ---------------------------------------------------------------------------
 
@@ -425,4 +475,8 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
              "canary-staged fleet upgrade: sharded routing, fan-out "
              "writes, rollback on divergence",
              build_fleet_canary_upgrade, default_ops=60),
+    Scenario("chaos-campaign-parallel",
+             "chaos campaign grid serial vs 8 workers (measured "
+             "speedup + report byte-identity)",
+             build_chaos_campaign_parallel, default_ops=211),
 )}

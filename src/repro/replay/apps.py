@@ -1,0 +1,176 @@
+"""Replayable applications: version factories + rewrite rules per pair.
+
+The replay engine needs three things per application: a fresh server for
+any *candidate* version label, the candidate's canonical release name
+(so rewrite-rule lookup works for patched builds like the chaos
+campaign's buggy 2.0), and the :class:`~repro.mve.dsl.rules.RuleSet`
+bridging a recorded leader version to the candidate.  This module is
+that registry — keyed by the ``app`` field a stream's header carries.
+
+Candidate labels beyond the released versions make shadow testing
+candid: ``kvstore 2.0-buggy`` is the chaos campaign's read-path-bug
+build, so the replay acceptance test can demonstrate a recording
+catching a bad update offline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mve.dsl.rules import Direction, RuleSet
+
+
+class ReplayAppError(SimulationError):
+    """An unknown app/version label or an unbridgeable version pair."""
+
+
+class ReplayApp:
+    """One application's replayable versions and pairwise rules."""
+
+    def __init__(self, name: str, order: Tuple[str, ...],
+                 factories: Dict[str, Callable[[], object]],
+                 rules: Callable[[str, str], RuleSet],
+                 canonical: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        #: Release order of the canonical versions.
+        self.order = order
+        self._factories = factories
+        self._rules = rules
+        #: Candidate label -> canonical release (identity by default).
+        self._canonical = canonical or {}
+        self._ruleset_cache: Dict[Tuple[str, str], RuleSet] = {}
+
+    def versions(self) -> Tuple[str, ...]:
+        """Every label a stream can be replayed ``--against``."""
+        return tuple(sorted(self._factories))
+
+    def make_server(self, label: str):
+        """A fresh server running candidate version ``label``."""
+        factory = self._factories.get(label)
+        if factory is None:
+            raise ReplayAppError(
+                f"{self.name} has no replayable version {label!r} "
+                f"(choose from {', '.join(self.versions())})")
+        return factory()
+
+    def canonical(self, label: str) -> str:
+        """The canonical release name rules are registered under."""
+        return self._canonical.get(label, label)
+
+    def ruleset(self, old: str, new: str) -> RuleSet:
+        """Rules for the update pair ``old -> new`` (release order)."""
+        key = (old, new)
+        if key not in self._ruleset_cache:
+            try:
+                self._ruleset_cache[key] = self._rules(old, new)
+            except (KeyError, ValueError) as exc:
+                raise ReplayAppError(
+                    f"{self.name} has no rewrite rules bridging "
+                    f"{old} -> {new}: {exc}") from exc
+        return self._ruleset_cache[key]
+
+    def stage_for(self, leader: str, candidate: str) \
+            -> Tuple[Optional[RuleSet], Optional[Direction]]:
+        """How to rewrite a ``leader``-version stream for ``candidate``.
+
+        Returns ``(None, None)`` when the versions agree (identity);
+        otherwise the pair's rule set plus the replay direction — the
+        candidate plays follower, so an older leader means
+        ``OUTDATED_LEADER`` (the pre-promotion stage) and a newer leader
+        means ``UPDATED_LEADER`` (the post-promotion mirror stage).
+        """
+        leader_c = self.canonical(leader)
+        candidate_c = self.canonical(candidate)
+        if leader_c == candidate_c:
+            return None, None
+        try:
+            leader_i = self.order.index(leader_c)
+            candidate_i = self.order.index(candidate_c)
+        except ValueError as exc:
+            raise ReplayAppError(
+                f"{self.name}: version pair {leader_c} / {candidate_c} "
+                f"is outside the release order {self.order}") from exc
+        if leader_i < candidate_i:
+            return self.ruleset(leader_c, candidate_c), \
+                Direction.OUTDATED_LEADER
+        return self.ruleset(candidate_c, leader_c), \
+            Direction.UPDATED_LEADER
+
+
+# ---------------------------------------------------------------------------
+# Per-app wiring (server imports stay inside factories/builders so that
+# importing the registry does not drag every server package in)
+# ---------------------------------------------------------------------------
+
+def _kvstore_app() -> ReplayApp:
+    from repro.servers.kvstore import (KVStoreServer, KVStoreV1, KVStoreV2,
+                                       kv_rules_from_dsl)
+
+    def buggy():
+        # The chaos campaign's read-path-bug build (answers GET wrongly).
+        from repro.chaos.scenarios import BuggyKVStoreV2
+        return KVStoreServer(BuggyKVStoreV2())
+
+    def rules(old: str, new: str) -> RuleSet:
+        if (old, new) != ("1.0", "2.0"):
+            raise KeyError(f"kvstore only ships rules for 1.0 -> 2.0, "
+                           f"not {old} -> {new}")
+        return kv_rules_from_dsl()
+
+    return ReplayApp(
+        "kvstore", ("1.0", "2.0"),
+        factories={
+            "1.0": lambda: KVStoreServer(KVStoreV1()),
+            "2.0": lambda: KVStoreServer(KVStoreV2()),
+            "2.0-buggy": buggy,
+        },
+        rules=rules,
+        canonical={"2.0-buggy": "2.0"},
+    )
+
+
+def _redis_app() -> ReplayApp:
+    from repro.servers.redis import (REDIS_VERSIONS, RedisServer,
+                                     redis_rules, redis_version)
+    factories = {
+        name: (lambda name=name: RedisServer(redis_version(name)))
+        for name in REDIS_VERSIONS
+    }
+    return ReplayApp("redis", REDIS_VERSIONS, factories, redis_rules)
+
+
+def _vsftpd_app() -> ReplayApp:
+    from repro.servers.vsftpd import (VSFTPD_VERSIONS, VsftpdServer,
+                                      vsftpd_rules, vsftpd_version)
+    factories = {
+        name: (lambda name=name: VsftpdServer(vsftpd_version(name)))
+        for name in VSFTPD_VERSIONS
+    }
+    return ReplayApp("vsftpd", VSFTPD_VERSIONS, factories, vsftpd_rules)
+
+
+_BUILDERS: Dict[str, Callable[[], ReplayApp]] = {
+    "kvstore": _kvstore_app,
+    "redis": _redis_app,
+    "vsftpd": _vsftpd_app,
+}
+
+_APPS: Dict[str, ReplayApp] = {}
+
+
+def replay_app(name: str) -> ReplayApp:
+    """The registry entry for ``name`` (memoized)."""
+    if name not in _APPS:
+        builder = _BUILDERS.get(name)
+        if builder is None:
+            raise ReplayAppError(
+                f"no replayable app {name!r} "
+                f"(known: {', '.join(sorted(_BUILDERS))})")
+        _APPS[name] = builder()
+    return _APPS[name]
+
+
+def replayable_apps() -> Tuple[str, ...]:
+    """Names the registry can build."""
+    return tuple(sorted(_BUILDERS))

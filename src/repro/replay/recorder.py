@@ -1,0 +1,183 @@
+"""The stream recorder: taps the leader's syscall stream into an artifact.
+
+A :class:`StreamRecorder` is installed process-wide (mirroring the
+tracer and the chaos injector) and *claimed* by the first
+:class:`~repro.mve.varan.VaranRuntime` constructed while it is active —
+scenarios that build several MVE groups in sequence record only the
+first, which keeps the artifact a single coherent stream.  The claimed
+runtime then drives three hooks:
+
+* :meth:`on_iteration` — one completed **leader** iteration with its
+  raw syscall records (pre-rewrite: rules are applied at replay time,
+  so one recording can be replayed against any candidate version).
+  This is a superset of the ring-publish hook: single-leader iterations
+  are recorded too, so a stream covers the full scenario lifecycle, not
+  just the MVE window.
+* :meth:`on_control` — promote / crash-promote markers, so replay knows
+  which version produced each segment of the stream.
+* :meth:`on_fork` — follower attach points.
+
+Every hook is one attribute load plus an ``is None`` test on the hot
+path, same zero-cost discipline as the tracer; the class-level
+``created_total`` / ``recorded_total`` counters let the regression
+suite assert the disabled path allocates nothing.
+
+This module imports only the standard library and
+:mod:`repro.replay.stream`, so :mod:`repro.mve.varan` can hook it
+without cycles; runtime metadata is captured duck-typed at claim time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.replay.stream import (STREAM_SCHEMA, serialize_record,
+                                 write_stream)
+
+
+def _app_of(profile_name: str) -> str:
+    """Canonical app name from a cost-profile name.
+
+    Profiles suffix a size class (``vsftpd-small``/``vsftpd-large``);
+    the app registry keys on the bare name.
+    """
+    return profile_name.split("-", 1)[0]
+
+
+class StreamRecorder:
+    """Accumulates one scenario's leader stream for :func:`write`."""
+
+    #: Recorder instances ever constructed (process lifetime).
+    created_total = 0
+    #: Iterations ever recorded, across all recorders (process lifetime).
+    recorded_total = 0
+
+    def __init__(self, scenario: str = "") -> None:
+        StreamRecorder.created_total += 1
+        self.scenario = scenario
+        self.header: Optional[Dict[str, Any]] = None
+        self.entries: List[Dict[str, Any]] = []
+        self._claimed_by: Optional[int] = None
+        self.iterations = 0
+        self.records = 0
+
+    # -- claiming -----------------------------------------------------------
+
+    def claim(self, runtime: Any) -> bool:
+        """Bind this recorder to ``runtime`` (first MVE group wins).
+
+        Returns True when ``runtime`` holds the claim; later runtimes
+        get False and must not record.  Metadata is captured here, once,
+        duck-typed off the runtime: app + cost profile, the initial
+        leader version, ring capacity, and the fault plan in force.
+        """
+        if self._claimed_by is not None:
+            return self._claimed_by == id(runtime)
+        self._claimed_by = id(runtime)
+        profile_name = getattr(runtime.profile, "name", "")
+        chaos = runtime.kernel.chaos
+        fault_plan = None
+        if chaos is not None and getattr(chaos.plan, "faults", ()):
+            fault_plan = chaos.plan.as_dict()
+        server = runtime.leader.server
+        self.header = {
+            "type": "header",
+            "schema": STREAM_SCHEMA,
+            "app": _app_of(profile_name),
+            "scenario": self.scenario,
+            "initial_version": runtime.leader.version_name,
+            "profile": profile_name,
+            "ring_capacity": runtime.ring.capacity,
+            # fd labels the replayed candidate must use so its epoll /
+            # accept calls name the fds the leader's records name.
+            "listen_fd": getattr(server, "listen_fd", 0),
+            "epoll_fd": getattr(server, "epoll_fd", 1),
+            "fault_plan": fault_plan,
+        }
+        return True
+
+    # -- hooks (called by the claimed VaranRuntime) -------------------------
+
+    def on_iteration(self, at: int, version: str, mve: bool,
+                     records: List[Any]) -> None:
+        """One completed leader iteration (records pre-rewrite)."""
+        self.entries.append({
+            "type": "iter",
+            "at": at,
+            "version": version,
+            "mve": mve,
+            "records": [serialize_record(record) for record in records],
+        })
+        self.iterations += 1
+        self.records += len(records)
+        StreamRecorder.recorded_total += 1
+
+    def on_control(self, kind: str, at: int, version: str,
+                   new_leader: str) -> None:
+        """A promote or crash-promote changed which version leads."""
+        self.entries.append({
+            "type": "control",
+            "kind": kind,
+            "at": at,
+            "version": version,
+            "new_leader": new_leader,
+        })
+
+    def on_fork(self, at: int, version: str) -> None:
+        """A follower attached (the stream enters its MVE window)."""
+        self.entries.append({"type": "fork", "at": at, "version": version})
+
+    # -- output -------------------------------------------------------------
+
+    def write(self, path: str) -> int:
+        """Write the ``repro-stream/1`` artifact; returns entries written
+        (header and footer included)."""
+        if self.header is None:
+            raise ValueError("recorder was never claimed by a runtime — "
+                             "nothing to write")
+        return write_stream(path, self.header, self.entries)
+
+
+# ---------------------------------------------------------------------------
+# The active (global) recorder
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[StreamRecorder] = None
+
+
+def install_recorder(recorder: StreamRecorder) -> StreamRecorder:
+    """Make ``recorder`` the active recorder; MVE runtimes built while it
+    is installed try to claim it."""
+    global _ACTIVE
+    _ACTIVE = recorder
+    return recorder
+
+
+def uninstall_recorder() -> Optional[StreamRecorder]:
+    """Clear the active recorder; returns the one that was installed."""
+    global _ACTIVE
+    recorder, _ACTIVE = _ACTIVE, None
+    return recorder
+
+
+def current_recorder() -> Optional[StreamRecorder]:
+    """The active recorder, or None (the zero-cost default)."""
+    return _ACTIVE
+
+
+class recording:
+    """Context manager: install a recorder for the duration of a block."""
+
+    def __init__(self, recorder: StreamRecorder) -> None:
+        self.recorder = recorder
+        self._previous: Optional[StreamRecorder] = None
+
+    def __enter__(self) -> StreamRecorder:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.recorder
+        return self.recorder
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous

@@ -1,0 +1,279 @@
+"""The ``repro-stream/1`` artifact: a persisted leader syscall stream.
+
+A recorded stream turns the leader's syscall/ring traffic into a
+first-class, versioned artifact — following DiOS-style reproducible
+execution: re-driving a follower (or a *candidate* new version) against
+the recording reproduces the original divergence verdict offline, with
+no workload, kernel scheduling, or chaos plan required at replay time.
+
+Framing is **length-prefixed JSONL**: every line is
+
+    ``XXXXXXXX <json>\\n``
+
+where ``XXXXXXXX`` is the zero-padded lower-case hex byte length of the
+UTF-8 ``<json>`` payload that follows the single separating space.  The
+prefix makes truncation and in-place corruption detectable without
+parsing: a reader checks the arithmetic before it ever calls
+``json.loads``.  Entry order is the recording order:
+
+* exactly one ``header`` first — schema id, app, scenario, the initial
+  leader version, cost profile, ring capacity, and the fault plan in
+  force (``null`` for a fault-free recording);
+* ``iter`` entries — one leader event-loop iteration: completion time,
+  the emitting leader's version, whether a follower was attached, and
+  the iteration's syscall records *before* rewrite rules (rules are a
+  replay-side concern: the same stream can be replayed against any
+  candidate version);
+* ``fork`` / ``control`` entries — follower attach points and
+  promote/crash-promote markers, so replay knows which version produced
+  each segment of the stream;
+* exactly one ``footer`` last — iteration/record/control totals, which
+  double as an integrity check.
+
+Record payload bytes are stored as latin-1 strings (reversible for any
+byte value); tuple results are tagged so they round-trip as tuples.
+
+This module imports only the standard library plus the leaf modules
+``repro.errors`` and ``repro.syscalls.model`` so the recorder hook in
+``repro.mve.varan`` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.syscalls.model import Sys, SyscallRecord
+
+#: Stream artifact schema identifier (bump on shape changes).
+STREAM_SCHEMA = "repro-stream/1"
+
+#: Entry types legal after the header, in the vocabulary checked by
+#: :func:`validate_stream_file`.
+ENTRY_TYPES = ("iter", "fork", "control", "footer")
+
+
+class StreamError(SimulationError):
+    """A malformed or unreadable ``repro-stream/1`` artifact."""
+
+
+# ---------------------------------------------------------------------------
+# Record (de)serialization
+# ---------------------------------------------------------------------------
+
+def serialize_record(record: SyscallRecord) -> Dict[str, Any]:
+    """One syscall record as JSON-ready data (reversible)."""
+    entry: Dict[str, Any] = {"sys": record.name.value, "fd": record.fd}
+    if record.data:
+        entry["data"] = record.data.decode("latin-1")
+    if record.result is not None:
+        entry["result"] = _serialize_result(record.result)
+    if record.aux:
+        entry["aux"] = {str(k): v for k, v in record.aux.items()}
+    return entry
+
+
+def _serialize_result(result: Any) -> Any:
+    if isinstance(result, (list, tuple)):
+        return {"t": [_serialize_result(item) for item in result]}
+    if isinstance(result, bytes):
+        return {"b": result.decode("latin-1")}
+    return result
+
+
+def _deserialize_result(result: Any) -> Any:
+    if isinstance(result, dict):
+        if "t" in result:
+            return tuple(_deserialize_result(item) for item in result["t"])
+        if "b" in result:
+            return result["b"].encode("latin-1")
+    return result
+
+
+def deserialize_record(entry: Dict[str, Any]) -> SyscallRecord:
+    """Rebuild a :class:`SyscallRecord` from its serialized form."""
+    try:
+        name = Sys(entry["sys"])
+    except (KeyError, ValueError) as exc:
+        raise StreamError(f"bad syscall record entry: {entry!r}") from exc
+    kwargs: Dict[str, Any] = {}
+    if "aux" in entry:
+        kwargs["aux"] = dict(entry["aux"])
+    return SyscallRecord(name, fd=int(entry.get("fd", -1)),
+                         data=entry.get("data", "").encode("latin-1"),
+                         result=_deserialize_result(entry.get("result")),
+                         **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Length-prefixed framing
+# ---------------------------------------------------------------------------
+
+def frame_line(payload: Dict[str, Any]) -> str:
+    """One length-prefixed JSONL line (without the trailing newline)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"{len(body.encode('utf-8')):08x} {body}"
+
+
+def unframe_line(line: str, index: int) -> Dict[str, Any]:
+    """Parse one framed line, checking the length prefix first."""
+    if len(line) < 10 or line[8] != " ":
+        raise StreamError(f"line {index}: missing length prefix")
+    try:
+        declared = int(line[:8], 16)
+    except ValueError:
+        raise StreamError(f"line {index}: bad length prefix "
+                          f"{line[:8]!r}") from None
+    body = line[9:]
+    actual = len(body.encode("utf-8"))
+    if actual != declared:
+        raise StreamError(f"line {index}: length prefix says {declared} "
+                          f"bytes but the payload has {actual} "
+                          f"(truncated or corrupted artifact)")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise StreamError(f"line {index}: bad JSON payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise StreamError(f"line {index}: entry is not an object")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# The in-memory form
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RecordedStream:
+    """A parsed ``repro-stream/1`` artifact."""
+
+    #: Header metadata (scenario, app, versions, fault plan, ...).
+    header: Dict[str, Any]
+    #: Every non-header, non-footer entry, in recording order.
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def app(self) -> str:
+        return self.header.get("app", "")
+
+    @property
+    def scenario(self) -> str:
+        return self.header.get("scenario", "")
+
+    @property
+    def initial_version(self) -> str:
+        return self.header.get("initial_version", "")
+
+    @property
+    def fault_plan(self) -> Optional[Dict[str, Any]]:
+        return self.header.get("fault_plan")
+
+    def iterations(self) -> List[Dict[str, Any]]:
+        return [entry for entry in self.entries if entry["type"] == "iter"]
+
+    def record_count(self) -> int:
+        return sum(len(entry["records"]) for entry in self.iterations())
+
+
+def write_stream(path: str, header: Dict[str, Any],
+                 entries: Iterable[Dict[str, Any]]) -> int:
+    """Write a framed stream artifact; returns the entry count written
+    (including header and footer)."""
+    iterations = records = controls = 0
+    lines = [frame_line(header)]
+    for entry in entries:
+        if entry.get("type") == "iter":
+            iterations += 1
+            records += len(entry.get("records", ()))
+        elif entry.get("type") == "control":
+            controls += 1
+        lines.append(frame_line(entry))
+    lines.append(frame_line({"type": "footer", "iterations": iterations,
+                             "records": records, "controls": controls}))
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def read_stream(path: str) -> RecordedStream:
+    """Parse a stream artifact, raising :class:`StreamError` on any
+    framing, schema, or integrity problem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if not lines:
+        raise StreamError(f"{path}: empty stream artifact")
+    header = unframe_line(lines[0], 0)
+    if header.get("type") != "header":
+        raise StreamError(f"{path}: first entry is "
+                          f"{header.get('type')!r}, expected 'header'")
+    if header.get("schema") != STREAM_SCHEMA:
+        raise StreamError(f"{path}: schema is {header.get('schema')!r}, "
+                          f"expected {STREAM_SCHEMA!r}")
+    entries: List[Dict[str, Any]] = []
+    footer: Optional[Dict[str, Any]] = None
+    for index, line in enumerate(lines[1:], start=1):
+        entry = unframe_line(line, index)
+        kind = entry.get("type")
+        if footer is not None:
+            raise StreamError(f"line {index}: entry after the footer")
+        if kind == "footer":
+            footer = entry
+            continue
+        if kind not in ENTRY_TYPES:
+            raise StreamError(f"line {index}: unknown entry type {kind!r}")
+        entries.append(entry)
+    if footer is None:
+        raise StreamError(f"{path}: missing footer (truncated artifact)")
+    iterations = sum(1 for e in entries if e["type"] == "iter")
+    records = sum(len(e.get("records", ())) for e in entries
+                  if e["type"] == "iter")
+    controls = sum(1 for e in entries if e["type"] == "control")
+    for key, have in (("iterations", iterations), ("records", records),
+                      ("controls", controls)):
+        if footer.get(key) != have:
+            raise StreamError(
+                f"{path}: footer says {footer.get(key)} {key} but the "
+                f"stream holds {have} (truncated artifact)")
+    return RecordedStream(header=header, entries=entries)
+
+
+def validate_stream_file(path: str) -> List[str]:
+    """Problems with a stream artifact (empty list means valid)."""
+    try:
+        stream = read_stream(path)
+    except (OSError, StreamError) as exc:
+        return [str(exc)]
+    problems: List[str] = []
+    for key in ("app", "scenario", "initial_version"):
+        if not isinstance(stream.header.get(key), str) \
+                or not stream.header.get(key):
+            problems.append(f"header missing {key!r}")
+    if not isinstance(stream.header.get("ring_capacity"), int):
+        problems.append("header missing 'ring_capacity'")
+    for index, entry in enumerate(stream.entries):
+        if entry["type"] == "iter":
+            if not isinstance(entry.get("records"), list):
+                problems.append(f"entry {index}: iter without records")
+                continue
+            for record in entry["records"]:
+                try:
+                    deserialize_record(record)
+                except StreamError as exc:
+                    problems.append(f"entry {index}: {exc}")
+                    break
+            if not isinstance(entry.get("at"), int):
+                problems.append(f"entry {index}: iter without 'at'")
+            if not isinstance(entry.get("version"), str):
+                problems.append(f"entry {index}: iter without 'version'")
+        elif entry["type"] == "control":
+            if not entry.get("kind"):
+                problems.append(f"entry {index}: control without 'kind'")
+            if not isinstance(entry.get("new_leader"), str):
+                problems.append(f"entry {index}: control without "
+                                f"'new_leader'")
+    if not stream.iterations():
+        problems.append("stream holds no iterations")
+    return problems

@@ -1,0 +1,336 @@
+"""Syscall-stream record/replay (``repro-stream/1``) and parallel
+campaign execution: stream round-trips, offline divergence forensics,
+byte-identical sharded reports, and the perf ``--diff`` regression
+gate."""
+
+import json
+
+import pytest
+
+from repro.chaos.campaign import default_grid, probe_site_calls, run_campaign
+from repro.chaos.cli import chaos_main
+from repro.chaos.scenarios import run_kv_update_scenario
+from repro.errors import SimulationError
+from repro.obs.cli import trace_main
+from repro.perf.diff import diff_bench
+from repro.perf.harness import (SCHEMA, WALL_CLOCK_KEYS, run_scenarios,
+                                to_bench_dict, validate_bench)
+from repro.replay.cli import replay_main
+from repro.replay.engine import replay_file
+from repro.replay.parallel import resolve_workers, shard_round_robin
+from repro.replay.recorder import StreamRecorder, current_recorder, recording
+from repro.replay.stream import StreamError, read_stream, validate_stream_file
+
+
+@pytest.fixture(scope="module")
+def kv_stream(tmp_path_factory):
+    """A recorded kvstore update lifecycle (the chaos golden run)."""
+    path = tmp_path_factory.mktemp("streams") / "kv.jsonl"
+    recorder = StreamRecorder(scenario="kvstore")
+    with recording(recorder):
+        run_kv_update_scenario()
+    recorder.write(str(path))
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# The stream artifact
+# ---------------------------------------------------------------------------
+
+
+class TestStreamArtifact:
+    def test_recorded_stream_round_trips(self, kv_stream):
+        stream = read_stream(kv_stream)
+        assert stream.app == "kvstore"
+        assert stream.initial_version == "1.0"
+        assert stream.record_count() > 0
+        assert len(stream.iterations()) > 0
+        # The update lifecycle leaves at least one control entry.
+        assert any(e["type"] == "control" for e in stream.entries)
+        assert validate_stream_file(kv_stream) == []
+
+    def test_truncated_stream_is_rejected(self, kv_stream, tmp_path):
+        lines = open(kv_stream, encoding="utf-8").read().splitlines()
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(StreamError, match="footer"):
+            read_stream(str(truncated))
+        assert validate_stream_file(str(truncated)) != []
+
+    def test_corrupt_length_prefix_is_rejected(self, kv_stream, tmp_path):
+        lines = open(kv_stream, encoding="utf-8").read().splitlines()
+        lines[1] = "zzzzzzzz " + lines[1].split(" ", 1)[1]
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(StreamError, match="length prefix"):
+            read_stream(str(corrupt))
+
+
+# ---------------------------------------------------------------------------
+# The recorder
+# ---------------------------------------------------------------------------
+
+
+def _fake_runtime(version="1.0"):
+    class Obj:
+        pass
+    runtime = Obj()
+    runtime.profile = Obj()
+    runtime.profile.name = "kvstore"
+    runtime.kernel = Obj()
+    runtime.kernel.chaos = None
+    runtime.leader = Obj()
+    runtime.leader.version_name = version
+    runtime.leader.server = Obj()
+    runtime.ring = Obj()
+    runtime.ring.capacity = 64
+    return runtime
+
+
+class TestRecorder:
+    def test_disabled_by_default_and_costs_nothing(self):
+        assert current_recorder() is None
+        before = StreamRecorder.recorded_total
+        run_kv_update_scenario()
+        assert StreamRecorder.recorded_total == before
+
+    def test_first_runtime_wins_the_claim(self):
+        recorder = StreamRecorder(scenario="t")
+        first, second = _fake_runtime(), _fake_runtime("2.0")
+        assert recorder.claim(first) is True
+        assert recorder.claim(second) is False
+        # Idempotent for the holder.
+        assert recorder.claim(first) is True
+        assert recorder.header["initial_version"] == "1.0"
+
+    def test_unclaimed_recorder_refuses_to_write(self, tmp_path):
+        with pytest.raises(ValueError, match="never claimed"):
+            StreamRecorder().write(str(tmp_path / "empty.jsonl"))
+
+
+# ---------------------------------------------------------------------------
+# Offline replay
+# ---------------------------------------------------------------------------
+
+
+class TestReplay:
+    def test_same_version_replays_with_zero_divergences(self, kv_stream):
+        report = replay_file(kv_stream)
+        assert report.ok
+        assert report.outcome == "match"
+        assert report.iterations_replayed == report.iterations
+        assert report.records_replayed > 0
+        assert report.as_dict()["schema"] == "repro-replay/1"
+
+    def test_newer_version_replays_through_the_rules(self, kv_stream):
+        report = replay_file(kv_stream, against="2.0")
+        assert report.ok
+        assert report.iterations_replayed == report.iterations
+
+    def test_buggy_candidate_diverges_with_forensics(self, kv_stream):
+        report = replay_file(kv_stream, against="2.0-buggy")
+        assert report.outcome == "divergence"
+        assert not report.ok
+        assert report.divergence["detail"]
+        assert report.forensics is not None
+        bundle = report.forensics.as_dict()
+        assert bundle["reason"]
+        assert bundle["version"] == "2.0-buggy"
+        # The bundle carries the records around the mismatch.
+        assert bundle["expected_records"]
+        assert report.forensics.summary()
+
+    def test_cli_exit_codes(self, kv_stream, tmp_path, capsys):
+        assert replay_main([kv_stream]) == 0
+        assert replay_main([kv_stream, "--against", "2.0-buggy"]) == 1
+        assert replay_main([str(tmp_path / "missing.jsonl")]) == 2
+        assert replay_main([kv_stream, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "divergence" in out
+
+    def test_cli_writes_json_report(self, kv_stream, tmp_path, capsys):
+        out = tmp_path / "replay.json"
+        assert replay_main([kv_stream, "--json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-replay/1"
+        assert payload["outcome"] == "match"
+
+
+class TestTraceRecordRoundTrip:
+    def test_fig6_records_and_replays_clean(self, tmp_path, capsys):
+        stream = tmp_path / "STREAM_fig6.jsonl"
+        trace = tmp_path / "TRACE_fig6.jsonl"
+        assert trace_main(["fig6", "--quick", "--out", str(trace),
+                           "--record", str(stream)]) == 0
+        assert "wrote stream" in capsys.readouterr().out
+        assert validate_stream_file(str(stream)) == []
+        report = replay_file(str(stream))
+        assert report.ok
+        # The recorded update promotes 2.0.0 -> 2.0.1 mid-stream.
+        assert report.final_version_recorded == "2.0.1"
+        # The newer version also replays clean, through the rules.
+        follower = replay_file(str(stream), against="2.0.1")
+        assert follower.ok
+        assert follower.rules_fired > 0
+
+
+# ---------------------------------------------------------------------------
+# Parallel campaign execution
+# ---------------------------------------------------------------------------
+
+
+class TestParallelCampaign:
+    def test_sharded_report_is_byte_identical_to_serial(self):
+        serial = run_campaign("kvstore", seed=1, max_cells=16)
+        parallel = run_campaign("kvstore", seed=1, max_cells=16, workers=2)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+
+    def test_oncall_cap_widens_and_narrows_the_grid(self):
+        calls = probe_site_calls()
+        narrow = default_grid(calls, 1, oncall_cap=2)
+        default = default_grid(calls, 1)
+        assert len(narrow) < len(default)
+
+    def test_campaign_validates_its_knobs(self):
+        with pytest.raises(SimulationError, match="workers"):
+            run_campaign("kvstore", max_cells=2, workers=0)
+        with pytest.raises(SimulationError, match="oncall-cap"):
+            run_campaign("kvstore", max_cells=2, oncall_cap=0)
+
+    def test_cli_workers_and_record(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        stream_path = tmp_path / "stream.jsonl"
+        code = chaos_main(["kvstore", "--max-cells", "6", "--workers", "2",
+                           "--record", str(stream_path),
+                           "--report", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "wrote stream" in out
+        assert json.loads(report_path.read_text())["cells"] == 6
+        # The recorded golden baseline replays clean.
+        assert replay_file(str(stream_path)).ok
+
+    def test_cli_rejects_bad_workers_and_cap(self, capsys):
+        with pytest.raises(SystemExit):
+            chaos_main(["kvstore", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            chaos_main(["kvstore", "--oncall-cap", "0"])
+
+    def test_resolve_workers(self):
+        assert resolve_workers("auto") >= 1
+        assert resolve_workers("3") == 3
+        assert resolve_workers(None) >= 1
+        for bad in ("0", "-2", "many"):
+            with pytest.raises(ValueError):
+                resolve_workers(bad)
+
+    def test_shard_round_robin_partitions_everything(self):
+        shards = shard_round_robin(7, 3)
+        assert sorted(i for shard in shards for i in shard) == list(range(7))
+        assert all(shard for shard in shards)
+        # More workers than items: no empty shards.
+        assert shard_round_robin(2, 8) == [[0], [1]]
+
+
+# ---------------------------------------------------------------------------
+# Parallel perf harness + the --diff regression gate
+# ---------------------------------------------------------------------------
+
+
+def _bench_payload(rate=100.0, gauge=7, ops=10, wall_ms=5):
+    return {
+        "_meta": {"schema": SCHEMA, "quick": False, "ops": {"s": ops},
+                  "python": "3", "workers": 1, "cpu_count": 1,
+                  "scenario_order": ["s"]},
+        "s": {"wall_s": 1.0, "vreq_per_s": rate, "syscalls_per_s": rate,
+              "gauge": gauge, "setup_wall_ms": wall_ms},
+    }
+
+
+class TestPerfParallel:
+    def test_sharded_results_match_serial_modulo_wall_clock(self):
+        names = ["rules-redis-stream", "rules-vsftpd-stream"]
+        serial = run_scenarios(names, ops=60)
+        parallel = run_scenarios(names, ops=60, workers=2)
+
+        def gauges(results):
+            return [(r.name, r.ops, r.vrequests, r.syscalls, r.extras)
+                    for r in results]
+        assert gauges(serial) == gauges(parallel)
+
+    def test_bench_meta_records_the_run_shape(self):
+        results = run_scenarios(["rules-redis-stream"], ops=40)
+        payload = to_bench_dict(results, quick=True, workers=3)
+        meta = payload["_meta"]
+        assert meta["schema"] == "repro-perf/3"
+        assert meta["workers"] == 3
+        assert meta["cpu_count"] >= 1
+        assert meta["scenario_order"] == ["rules-redis-stream"]
+        assert validate_bench(payload) == []
+
+    def test_validate_bench_catches_tampering(self):
+        payload = _bench_payload()
+        assert validate_bench(payload) == []
+        del payload["_meta"]["workers"]
+        assert any("workers" in p for p in validate_bench(payload))
+        payload["_meta"]["schema"] = "repro-perf/1"
+        assert any("schema" in p for p in validate_bench(payload))
+
+    def test_campaign_parallel_scenario_reports_identity(self):
+        result = run_scenarios(["chaos-campaign-parallel"], ops=8)[0]
+        assert result.extras["reports_identical"] == 1
+        assert result.extras["campaign_cells"] == 8
+        assert result.extras["campaign_workers"] == 8
+        assert result.vrequests == 16
+
+
+class TestDiffGate:
+    def test_identical_payloads_pass(self):
+        deltas = diff_bench(_bench_payload(), _bench_payload())
+        assert [d.status for d in deltas] == ["ok"]
+        assert all(d.ok for d in deltas)
+
+    def test_timing_extras_are_exempt_but_gauges_are_not(self):
+        current = _bench_payload(gauge=7, wall_ms=900)
+        assert all(d.ok for d in diff_bench(current, _bench_payload()))
+        drifted = _bench_payload(gauge=8)
+        deltas = diff_bench(drifted, _bench_payload())
+        assert deltas[0].status == "gauge-mismatch"
+        assert "gauge" in deltas[0].problems[0]
+
+    def test_rate_regression_is_ratio_gated(self):
+        ok = diff_bench(_bench_payload(rate=60.0), _bench_payload(rate=100.0))
+        assert all(d.ok for d in ok)
+        bad = diff_bench(_bench_payload(rate=40.0), _bench_payload(rate=100.0))
+        assert bad[0].status == "regression"
+        strict = diff_bench(_bench_payload(rate=90.0),
+                            _bench_payload(rate=100.0), tolerance=0.05)
+        assert strict[0].status == "regression"
+
+    def test_missing_scenario_fails_and_new_passes(self):
+        baseline = _bench_payload()
+        current = _bench_payload()
+        current["extra-scenario"] = dict(current["s"])
+        deltas = diff_bench(current, baseline)
+        assert {d.name: d.status for d in deltas} \
+            == {"s": "ok", "extra-scenario": "new"}
+        missing = {k: v for k, v in baseline.items() if k == "_meta"}
+        deltas = diff_bench(missing, baseline)
+        assert deltas[0].status == "missing"
+        assert not deltas[0].ok
+
+    def test_ops_change_skips_the_comparison(self):
+        current = _bench_payload(gauge=999, ops=50)
+        deltas = diff_bench(current, _bench_payload(gauge=7, ops=10))
+        assert deltas[0].status == "ops-changed"
+        assert deltas[0].ok
+
+    def test_tolerance_is_validated(self):
+        with pytest.raises(ValueError):
+            diff_bench(_bench_payload(), _bench_payload(), tolerance=1.5)
+
+
+def test_wall_clock_keys_are_the_report_rates():
+    assert WALL_CLOCK_KEYS == {"wall_s", "vreq_per_s", "syscalls_per_s"}
