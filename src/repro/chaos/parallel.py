@@ -37,6 +37,12 @@ def run_shard(args: ShardArgs) -> List[Tuple[int, Dict[str, Any]]]:
     from repro.chaos.campaign import (cell_entry, default_grid, run_cell)
     from repro.chaos.plan import FaultPlan
     from repro.chaos.scenarios import run_kv_update_scenario
+    if scenario != "kvstore":
+        # run_campaign validates the scenario before sharding; this
+        # guard makes any future second scenario fail loudly here
+        # instead of silently running the kvstore workload for it.
+        raise ValueError(f"run_shard only knows the 'kvstore' scenario, "
+                         f"got {scenario!r}")
     golden = run_kv_update_scenario()
     grid_faults = default_grid(site_calls, seed, oncall_cap=oncall_cap)
     if max_cells is not None:

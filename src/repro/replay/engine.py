@@ -131,6 +131,10 @@ def replay_stream(stream: RecordedStream, *,
     history: deque = deque(maxlen=FORENSICS_LAST_K)
     last_engine = None
     sequence = 0
+    # Iter-only index of the entry being replayed, so the reported
+    # "iteration" lines up with report.iterations / iterations_replayed
+    # (which never count control or fork entries).
+    iteration = -1
 
     for index, entry in enumerate(stream.entries):
         kind = entry["type"]
@@ -141,6 +145,7 @@ def replay_stream(stream: RecordedStream, *,
             continue
         if kind != "iter":
             continue
+        iteration += 1
         records = [deserialize_record(raw) for raw in entry["records"]]
         ruleset, direction = app.stage_for(leader_version, candidate)
         if ruleset is None:
@@ -169,7 +174,8 @@ def replay_stream(stream: RecordedStream, *,
             report.outcome = "divergence"
             report.divergence = {
                 "at": at,
-                "iteration": index,
+                "iteration": iteration,
+                "entry_index": index,
                 "recorded_leader": leader_version,
                 "detail": str(divergence),
             }
@@ -192,7 +198,8 @@ def replay_stream(stream: RecordedStream, *,
             report.outcome = "crash"
             report.divergence = {
                 "at": at,
-                "iteration": index,
+                "iteration": iteration,
+                "entry_index": index,
                 "recorded_leader": leader_version,
                 "detail": str(crash),
             }

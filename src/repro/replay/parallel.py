@@ -78,9 +78,15 @@ def run_sharded(worker: Callable[[Any], Any], shard_args: Sequence[Any],
     """Run ``worker`` over ``shard_args``, one result per arg, in order.
 
     ``workers <= 1`` (or a single shard) runs in-process — the serial
-    path stays the golden reference and needs no pool at all.
+    path stays the golden reference and needs no pool at all.  So does
+    any call made from inside a pool worker: daemonic processes cannot
+    have children, so a sharded run nested under another sharded run
+    (e.g. the chaos-campaign-parallel perf scenario inside
+    ``repro perf --workers N``) degrades to the serial path instead of
+    crashing the outer pool.
     """
-    if workers <= 1 or len(shard_args) <= 1:
+    if (workers <= 1 or len(shard_args) <= 1
+            or multiprocessing.current_process().daemon):
         return [worker(args) for args in shard_args]
     ctx = mp_context(method)
     with ctx.Pool(processes=min(workers, len(shard_args))) as pool:

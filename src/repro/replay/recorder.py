@@ -29,6 +29,7 @@ without cycles; runtime metadata is captured duck-typed at claim time.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Dict, List, Optional
 
 from repro.replay.stream import (STREAM_SCHEMA, serialize_record,
@@ -57,7 +58,7 @@ class StreamRecorder:
         self.scenario = scenario
         self.header: Optional[Dict[str, Any]] = None
         self.entries: List[Dict[str, Any]] = []
-        self._claimed_by: Optional[int] = None
+        self._claimed_by: Optional[weakref.ref] = None
         self.iterations = 0
         self.records = 0
 
@@ -67,13 +68,16 @@ class StreamRecorder:
         """Bind this recorder to ``runtime`` (first MVE group wins).
 
         Returns True when ``runtime`` holds the claim; later runtimes
-        get False and must not record.  Metadata is captured here, once,
+        get False and must not record.  The claim is held by weakref —
+        not ``id()`` — so a later runtime allocated at a dead claimant's
+        address cannot falsely win; once the claimant dies the claim
+        simply stays closed.  Metadata is captured here, once,
         duck-typed off the runtime: app + cost profile, the initial
         leader version, ring capacity, and the fault plan in force.
         """
         if self._claimed_by is not None:
-            return self._claimed_by == id(runtime)
-        self._claimed_by = id(runtime)
+            return self._claimed_by() is runtime
+        self._claimed_by = weakref.ref(runtime)
         profile_name = getattr(runtime.profile, "name", "")
         chaos = runtime.kernel.chaos
         fault_plan = None
