@@ -16,6 +16,7 @@
     python -m repro chaos kvstore # fault-injection campaign + invariants
     python -m repro fleet canary-kvstore  # sharded fleet canary upgrade
     python -m repro replay STREAM # re-drive a version against a recording
+    python -m repro slo fig7      # span-traced SLO report + attributions
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
@@ -81,6 +82,10 @@ def main(argv=None) -> int:
         # and the stream replayer.
         from repro.replay.cli import replay_main
         return replay_main(argv[1:])
+    if argv and argv[0] == "slo":
+        # and the span-traced SLO engine.
+        from repro.obs.slo_cli import slo_main
+        return slo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
@@ -88,7 +93,8 @@ def main(argv=None) -> int:
                         choices=sorted(_COMMANDS) + ["all", "chaos",
                                                      "fleet", "lint",
                                                      "perf", "prove",
-                                                     "replay", "trace"],
+                                                     "replay", "slo",
+                                                     "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'prove' the "
                              "MVE8xx divergence prover; 'perf' the "
@@ -96,7 +102,8 @@ def main(argv=None) -> int:
                              "traced semantic companion; 'chaos' a "
                              "fault-injection campaign; 'fleet' a "
                              "sharded canary upgrade; 'replay' re-drives "
-                             "a version against a recorded stream)")
+                             "a version against a recorded stream; 'slo' "
+                             "a span-traced SLO report)")
     parser.add_argument("--trace", metavar="PATH", dest="trace_path",
                         help="run with the structured tracer installed "
                              "and write a JSONL trace to PATH afterwards")

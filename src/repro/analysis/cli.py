@@ -13,6 +13,12 @@ byte-identical output).  The exit status contract, documented in
 The symbolic divergence prover (analyzer 8, MVE8xx) performs dynamic
 witness replay and is therefore opt-in for ``lint``: pass ``--prove``
 (or run ``python -m repro prove APP`` for the full certificate).
+
+``--spans PATH`` switches to span-hygiene mode: instead of the app
+catalog, the MVE9xx checks run over a ``repro-span/1`` JSONL file
+(written by ``python -m repro slo ... --spans PATH``).  The file is
+schema-validated first; shape problems print to stderr and exit 1,
+because a malformed span file cannot be certified hygiene-clean.
 """
 
 from __future__ import annotations
@@ -109,10 +115,16 @@ def lint_main(argv: Optional[Iterable[str]] = None) -> int:
                         help="also run the MVE8xx symbolic divergence "
                              "prover (slower: replays witnesses "
                              "dynamically)")
+    parser.add_argument("--spans", metavar="PATH",
+                        help="lint a repro-span/1 JSONL span file for "
+                             "hygiene (MVE9xx) instead of the catalog")
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.format and args.json and args.format != "json":
         parser.error("--json conflicts with --format " + args.format)
     fmt = args.format or ("json" if args.json else "human")
+
+    if args.spans:
+        return _lint_spans_file(args.spans, fmt, parser)
 
     if args.catalog:
         try:
@@ -135,6 +147,30 @@ def lint_main(argv: Optional[Iterable[str]] = None) -> int:
         print(f"mvelint: internal error: {exc!r}", file=sys.stderr)
         return EXIT_CRASH
 
+    if fmt == "json":
+        print(report.to_json())
+    elif fmt == "sarif":
+        from repro.analysis.sarif import sarif_json
+        print(sarif_json(report))
+    else:
+        _print_human(report)
+    return EXIT_FINDINGS if report.has_errors else EXIT_CLEAN
+
+
+def _lint_spans_file(path: str, fmt: str, parser) -> int:
+    """Span-hygiene mode: MVE9xx over one repro-span/1 JSONL file."""
+    from repro.analysis.trace_lint import lint_span_file
+    from repro.obs.spans import validate_span_file
+    try:
+        schema_problems = validate_span_file(path)
+    except OSError as exc:
+        parser.error(f"cannot read span file {path!r}: {exc}")
+    if schema_problems:
+        for problem in schema_problems:
+            print(f"span schema problem: {problem}", file=sys.stderr)
+        return EXIT_FINDINGS
+    report = LintReport(apps=["spans"])
+    report.extend(lint_span_file(path))
     if fmt == "json":
         print(report.to_json())
     elif fmt == "sarif":

@@ -15,6 +15,7 @@ MVE5xx trace-annotation lint (:mod:`repro.analysis.trace_lint`)
 MVE6xx fault-plan lint (:mod:`repro.analysis.chaos_lint`)
 MVE7xx fleet-topology lint (:mod:`repro.analysis.fleet_lint`)
 MVE8xx symbolic divergence prover (:mod:`repro.analysis.prover`)
+MVE9xx span-hygiene lint (:mod:`repro.analysis.trace_lint`)
 ====== ==========================================================
 
 :data:`RULE_METADATA` names every code for external report formats
@@ -74,6 +75,9 @@ RULE_METADATA: Dict[str, str] = {
     "MVE803": "rule never fires in any reachable configuration",
     "MVE804": "two rules match the same window with different effects "
               "(non-confluent overlap)",
+    "MVE901": "span never closed (end_ns is null at end of run)",
+    "MVE902": "span references a parent id no span in the file has",
+    "MVE903": "span ends before it starts (end_ns < start_ns)",
 }
 
 

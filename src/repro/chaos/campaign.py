@@ -42,9 +42,13 @@ from repro.servers.kvstore import xform_drop_table
 
 CHAOS_SCHEMA = "repro-chaos/1"
 
-#: The outcome taxonomy, from benign to broken.
+#: The outcome taxonomy, from benign to broken.  ``ordering-anomaly``
+#: flags a cell whose recovery event carries a virtual timestamp
+#: *before* its first injection — a clock/causality bug in the
+#: simulator or scenario, never silently normalised away.
 OUTCOMES = ("masked", "recovered-demotion", "recovered-rollback",
-            "availability-loss", "invariant-violation")
+            "availability-loss", "ordering-anomaly",
+            "invariant-violation")
 
 #: Upper bound on per-(site, kind) ``on-call`` indices in the default
 #: grid, so a chattier scenario cannot explode the sweep.
@@ -204,9 +208,17 @@ def cell_entry(name: str, cell_plan: FaultPlan, result: ChaosRunResult,
     """
     outcome, detail = classify(result, golden)
     first_at = result.injections[0]["at"] if result.injections else None
+    # The raw signed delta: a negative recovery latency means the
+    # recovery event predates the injection that caused it, which is a
+    # causality bug worth shouting about — not a value to clamp to 0.
     latency = None
     if first_at is not None and result.recovery_at is not None:
-        latency = max(0, result.recovery_at - first_at)
+        latency = result.recovery_at - first_at
+        if latency < 0:
+            outcome = "ordering-anomaly"
+            detail = (f"recovery at {result.recovery_at} predates first "
+                      f"injection at {first_at} "
+                      f"(delta {latency} ns); was: {detail}")
     lead = cell_plan.faults[0] if cell_plan.faults else None
     entry: Dict[str, Any] = {
         "name": name,

@@ -7,6 +7,7 @@
     python -m repro chaos kvstore --workers auto  # shard across CPUs
     python -m repro chaos kvstore --oncall-cap 48 # wider on-call sweep
     python -m repro chaos kvstore --record STREAM # record the baseline
+    python -m repro chaos kvstore --slo           # recovery percentiles
 
 The report is JSON with schema ``repro-chaos/1`` (see
 ``docs/chaos.md``); stdout carries the outcome tally.  Exit status is
@@ -60,6 +61,10 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
                         help="record the fault-free baseline run (or, "
                              "with --plan, the faulted run) as a "
                              "repro-stream/1 artifact at PATH")
+    parser.add_argument("--slo", action="store_true",
+                        help="print exact recovery-latency percentiles "
+                             "and the ordering-anomaly tally after the "
+                             "outcome table")
     args = parser.parse_args(argv)
 
     try:
@@ -86,6 +91,26 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
                   if entry["outcome"] == "invariant-violation"]
     for entry in violations:
         print(f"  VIOLATION {entry['name']}: {entry['detail']}")
+
+    if args.slo:
+        from repro.obs.metrics import Histogram
+        hist = Histogram("recovery_latency_ns")
+        for entry in report["grid"]:
+            latency = entry.get("recovery_latency_ns")
+            if latency is not None:
+                hist.observe(latency)
+        print()
+        if hist.count:
+            print(format_table(
+                ["recovered cells", "p50 (ns)", "p99 (ns)", "p999 (ns)",
+                 "max (ns)"],
+                [[hist.count, hist.quantile(0.5), hist.quantile(0.99),
+                  hist.quantile(0.999), hist.max_value]]))
+        else:
+            print("no cell recorded a recovery latency")
+        anomalies = report["outcomes"].get("ordering-anomaly", 0)
+        print(f"ordering anomalies (recovery before injection): "
+              f"{anomalies}")
 
     path = args.report or f"CHAOS_{args.scenario}.json"
     with open(path, "w", encoding="utf-8") as handle:

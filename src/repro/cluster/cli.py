@@ -3,12 +3,20 @@
     python -m repro fleet canary-kvstore                # 3×3 fleet
     python -m repro fleet canary-kvstore --shards 2 --replicas 2
     python -m repro fleet canary-kvstore --seed 7 --report out.json
+    python -m repro fleet canary-kvstore --slo          # + SLO accounting
 
 The report is JSON with schema ``repro-fleet/1`` (see
 ``docs/cluster.md``); stdout carries the topology, the per-round table,
 and the invariant verdict.  Exit status is non-zero when any fleet
 invariant is violated or the written report fails its own schema
 validation — the CI ``fleet-smoke`` job gates on exactly that.
+
+``--slo`` runs the scenario under span tracing, embeds a full
+``repro-slo/1`` section (see ``docs/observability.md``) under the
+report's ``slo`` key, and adds per-round SLO availability columns to
+the round table — requests whose gateway span overlaps the round, and
+the fraction of them that got an answer.  Without the flag the report
+is byte-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -38,11 +46,32 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--report", metavar="PATH",
                         help="where to write the JSON report (default: "
                              "FLEET_<scenario>.json)")
+    parser.add_argument("--slo", action="store_true",
+                        help="trace the run with spans, embed a "
+                             "repro-slo/1 section under the report's "
+                             "'slo' key, and add per-round SLO "
+                             "availability columns")
     args = parser.parse_args(argv)
 
-    report = run_fleet_scenario(args.scenario, args.seed,
-                                shards=args.shards,
-                                replicas=args.replicas)
+    collector = None
+    if args.slo:
+        from repro.obs.slo import build_slo_report, collect_cell
+        from repro.obs.slo_scenarios import SLO_SPECS
+        from repro.obs.trace import Tracer, tracing
+        spec = SLO_SPECS[args.scenario]
+        tracer = Tracer(experiment=f"fleet-{args.scenario}", spans=True)
+        with tracing(tracer):
+            report = run_fleet_scenario(args.scenario, args.seed,
+                                        shards=args.shards,
+                                        replicas=args.replicas)
+        collector = tracer.spans
+        cell = collect_cell(collector, args.scenario, spec)
+        report["slo"] = build_slo_report(args.scenario, args.seed,
+                                         spec, [cell])
+    else:
+        report = run_fleet_scenario(args.scenario, args.seed,
+                                    shards=args.shards,
+                                    replicas=args.replicas)
 
     topology = report["topology"]
     print(f"fleet scenario: {args.scenario} "
@@ -50,12 +79,22 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
           f"{topology['replicas_per_shard']} replicas, "
           f"seed {report['seed']})")
     print()
+    headers = ["round", "outcome", "updated", "demoted"]
+    if args.slo:
+        headers += ["requests", "slo avail"]
     rows = []
     for round_payload in report["rounds"]:
-        rows.append([round_payload["label"], round_payload["outcome"],
-                     str(round_payload["updated"]),
-                     str(round_payload["demotions"])])
-    print(format_table(["round", "outcome", "updated", "demoted"], rows))
+        row = [round_payload["label"], round_payload["outcome"],
+               str(round_payload["updated"]),
+               str(round_payload["demotions"])]
+        if args.slo:
+            total, answered = _round_availability(
+                collector, round_payload["started_at"],
+                round_payload["finished_at"])
+            row += [str(total),
+                    f"{answered / total:.4f}" if total else "-"]
+        rows.append(row)
+    print(format_table(headers, rows))
     print()
     print(f"max MVE pairs per shard: "
           f"{report['max_mve_pairs_per_shard']}  "
@@ -70,6 +109,15 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
               f"{report['invariants']['checked_observations']} "
               f"observations")
 
+    if args.slo:
+        from repro.obs.slo_cli import render_report
+        slo = report["slo"]
+        print()
+        print(f"slo ({slo['spec']['name']}): {slo['requests']} requests, "
+              f"{slo['violating_requests']} over budget, "
+              f"availability {slo['availability']:.4f}")
+        print(render_report(slo))
+
     suffix = args.scenario.split("-")[-1]
     path = args.report or f"FLEET_{suffix}.json"
     with open(path, "w", encoding="utf-8") as handle:
@@ -78,9 +126,31 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\nwrote report: {path}")
 
     problems = validate_report(report)
+    if args.slo:
+        from repro.obs.slo import validate_slo_report
+        problems += [f"slo: {p}"
+                     for p in validate_slo_report(report["slo"])]
     for problem in problems:
         print(f"  report problem: {problem}", file=sys.stderr)
     return 1 if violations or problems else 0
+
+
+def _round_availability(collector, start: int, finish: int):
+    """(requests, answered) for gateway spans overlapping a round.
+
+    A request counts toward a round when its span intersects the
+    round's ``[started_at, finished_at]`` window — that is exactly the
+    population whose latency the round's quiesce pauses can touch.
+    """
+    total = answered = 0
+    for span in collector.request_spans():
+        end = span.end_ns if span.end_ns is not None else span.start_ns
+        if end < start or span.start_ns > finish:
+            continue
+        total += 1
+        if span.attrs.get("answered", True) and not span.attrs.get("error"):
+            answered += 1
+    return total, answered
 
 
 if __name__ == "__main__":

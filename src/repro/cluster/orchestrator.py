@@ -163,6 +163,13 @@ class FleetOrchestrator:
         t = now
         self._emit("round_start", t, label=report.label,
                    version=report.version)
+        tracer = self._tracer
+        spans = tracer.spans if tracer is not None else None
+        round_span = None
+        if spans is not None:
+            round_span = spans.open("fleet.round", "fleet", t,
+                                    label=report.label,
+                                    version=report.version)
         for wave_index, replica_slots in enumerate(self.spec.waves()):
             for slot in replica_slots:
                 t, demoted = self._run_slot(version_factory, wave_index,
@@ -173,10 +180,15 @@ class FleetOrchestrator:
                     report.finished_at = t
                     self._emit("round_end", t, label=report.label,
                                outcome=report.outcome)
+                    if round_span is not None:
+                        spans.close(round_span, t,
+                                    outcome=report.outcome)
                     return report
         report.outcome = "completed"
         report.finished_at = t
         self._emit("round_end", t, label=report.label, outcome="completed")
+        if round_span is not None:
+            spans.close(round_span, t, outcome="completed")
         return report
 
     def _run_slot(self, version_factory: Callable[[], ServerVersion],
@@ -284,6 +296,11 @@ class FleetOrchestrator:
                 promote_at + self.validation_window_ns)
             self._emit("promote", finished, shard=shard.index,
                        node=node.name, wave=wave_index)
+            tracer = self._tracer
+            if tracer is not None and tracer.spans is not None:
+                tracer.spans.add("fleet.slot", "fleet", started, finished,
+                                 shard=shard.index, node=node.name,
+                                 wave=wave_index)
             report.records.append(FleetNodeRecord(
                 shard.index, node.name, wave_index, started, finished,
                 "updated", leader_pause_ns=pause))

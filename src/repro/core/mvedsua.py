@@ -191,6 +191,19 @@ class Mvedsua:
                           old=leader_server.version.name,
                           new=new_version.name)
             tracer.on_dsu("resume", t1)
+            if tracer.spans is not None:
+                spans = tracer.spans
+                update = spans.add("dsu.update", "dsu", now, t2,
+                                   old=leader_server.version.name,
+                                   new=new_version.name)
+                spans.add("dsu.quiesce", "dsu", now, now + quiesce_ns,
+                          parent=update.span_id)
+                spans.add("dsu.fork", "dsu", now + quiesce_ns, t1,
+                          parent=update.span_id)
+                spans.add("dsu.xform", "dsu", t1, t2,
+                          parent=update.span_id,
+                          version=new_version.name)
+                spans.set_phase("mve-active")
         return UpdateAttempt(True, "applied", t1, quiesce_ns=quiesce_ns,
                              xform_ns=xform_ns, entries=entries)
 
@@ -251,17 +264,28 @@ class Mvedsua:
     # Stage reconciliation from runtime events
     # ------------------------------------------------------------------
 
+    def _set_span_phase(self, phase: str) -> None:
+        """Advance the span collector's upgrade phase (no-op when spans
+        are off)."""
+        tracer = self.runtime.kernel.tracer
+        if tracer is not None and tracer.spans is not None:
+            tracer.spans.set_phase(phase)
+
     def _on_runtime_event(self, event: RuntimeEvent) -> None:
         if event.kind == "promoted":
             self.stage = Stage.UPDATED_LEADER
             self._note_chaos_stage()
+            self._set_span_phase("promoted")
             if self.timeline is not None \
                     and self.timeline.t5_promoted is None:
                 self.timeline.t5_promoted = event.at
         elif event.kind == "follower-terminated":
+            final = (event.detail == "finalize"
+                     or self.stage is Stage.UPDATED_LEADER)
             self._close_timeline(event)
             self.stage = Stage.SINGLE_LEADER
             self._note_chaos_stage()
+            self._set_span_phase("promoted" if final else "rolled-back")
         elif event.kind == "follower-promoted-after-crash":
             # The new version became the sole leader because the old
             # version crashed: the update is now permanent.
@@ -272,6 +296,7 @@ class Mvedsua:
                 self.timeline = None
             self.stage = Stage.SINGLE_LEADER
             self._note_chaos_stage()
+            self._set_span_phase("promoted")
 
     def _close_timeline(self, event: RuntimeEvent) -> None:
         if self.timeline is None:

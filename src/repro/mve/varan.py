@@ -309,6 +309,10 @@ class VaranRuntime:
                     raise SimulationError(
                         "ring buffer cannot hold one leader iteration "
                         f"(capacity {self.ring.capacity})")
+                if tracer is not None and tracer.spans is not None:
+                    tracer.spans.add("mve.ring-stall", "mve", t,
+                                     max(t, freed_at),
+                                     capacity=self.ring.capacity)
                 t = max(t, freed_at)
                 continue
             take = min(free, total - pushed)
@@ -340,6 +344,10 @@ class VaranRuntime:
                     raise SimulationError(
                         "ring buffer cannot hold one leader iteration "
                         f"(capacity {self.ring.capacity})")
+                if tracer is not None and tracer.spans is not None:
+                    tracer.spans.add("mve.ring-stall", "mve", t,
+                                     max(t, freed_at),
+                                     capacity=self.ring.capacity)
                 t = max(t, freed_at)
 
     def iteration_cost(self, trace: IterationTrace,
@@ -443,6 +451,9 @@ class VaranRuntime:
                 tracer.on_divergence_check(at, False, len(entries),
                                            detail=str(divergence))
                 tracer.on_forensics(self.last_forensics)
+                if tracer.spans is not None:
+                    tracer.spans.add("mve.divergence", "mve", at, at,
+                                     version=follower.version_name)
             self.log(at, "divergence", str(divergence))
             self._terminate_process(follower, at, reason="divergence")
             return at
@@ -522,6 +533,9 @@ class VaranRuntime:
         while self._iterations and self.follower is not None:
             last = self._replay_one()
         done = last if last is not None else start
+        if tracer is not None and tracer.spans is not None:
+            tracer.spans.add("mve.promote", "mve", start, done,
+                             version=self.leader.version_name)
         recorder = self.recorder
         if recorder is not None:
             # self.leader is the post-swap leader; if the follower died
@@ -570,6 +584,10 @@ class VaranRuntime:
             self.follower = None
             self.ring.clear()
             self._iterations.clear()
+            tracer = self.kernel.tracer
+            if tracer is not None and tracer.spans is not None:
+                tracer.spans.add("mve.demotion", "mve", at, at,
+                                 reason=reason)
             self.log(at, "follower-terminated", reason)
         else:  # pragma: no cover - leader termination goes via crash path
             raise SimulationError("cannot terminate the leader directly")
@@ -599,6 +617,10 @@ class VaranRuntime:
         self.ring.clear()
         self._iterations.clear()
         self.leader_is_updated = True
+        tracer = self.kernel.tracer
+        if tracer is not None and tracer.spans is not None:
+            tracer.spans.add("mve.crash-promote", "mve", at, at,
+                             version=survivor.version_name)
         self.log(at, "follower-promoted-after-crash")
         recorder = self.recorder
         if recorder is not None:

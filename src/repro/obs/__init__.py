@@ -7,6 +7,15 @@ single ``tracer is not None`` test.  See ``docs/observability.md``.
 from repro.obs.forensics import ForensicsBundle, build_divergence_bundle
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.scenarios import TRACE_SCENARIOS, run_trace_scenario
+from repro.obs.slo import SLO_SCHEMA, SloSpec, build_slo_report, validate_slo_report
+from repro.obs.spans import (
+    PHASES,
+    SPAN_SCHEMA,
+    Span,
+    SpanCollector,
+    validate_span_file,
+    validate_span_lines,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA,
     TraceEvent,
@@ -20,6 +29,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "PHASES",
+    "SLO_SCHEMA",
+    "SPAN_SCHEMA",
+    "SloSpec",
+    "Span",
+    "SpanCollector",
+    "build_slo_report",
+    "validate_slo_report",
+    "validate_span_file",
+    "validate_span_lines",
     "TRACE_SCHEMA",
     "TRACE_SCENARIOS",
     "run_trace_scenario",

@@ -13,7 +13,7 @@ layer without cycles.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -52,14 +52,19 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics over observed values (e.g. quiescence waits).
+    """Exact value distribution over observed values.
 
-    Keeps count/total/min/max rather than buckets: the simulator's
-    virtual-time values are exact, so percentile bucketing adds nothing
-    the experiment reports need.
+    The simulator's virtual-time values are exact integers, so instead
+    of approximating with log buckets the histogram keeps exact
+    per-value counts: :meth:`quantile` is then the true nearest-rank
+    percentile and :meth:`merge` makes cross-worker aggregation lossless
+    — two sharded halves merged together are indistinguishable from one
+    serial run.  Display code that wants log₂ buckets derives them from
+    :meth:`log2_buckets`; the data itself is never bucketed.
     """
 
-    __slots__ = ("name", "count", "total", "min_value", "max_value")
+    __slots__ = ("name", "count", "total", "min_value", "max_value",
+                 "counts")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -67,10 +72,13 @@ class Histogram:
         self.total = 0
         self.min_value: Optional[int] = None
         self.max_value: Optional[int] = None
+        #: Exact value -> occurrence count.
+        self.counts: Dict[int, int] = {}
 
     def observe(self, value: int) -> None:
         self.count += 1
         self.total += value
+        self.counts[value] = self.counts.get(value, 0) + 1
         if self.min_value is None or value < self.min_value:
             self.min_value = value
         if self.max_value is None or value > self.max_value:
@@ -79,6 +87,60 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[int]:
+        """Exact nearest-rank quantile: the smallest observed value with
+        at least ``ceil(q * count)`` observations at or below it.
+
+        ``quantile(0.0)`` is the minimum, ``quantile(1.0)`` the maximum;
+        None when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        target = int(rank) if rank == int(rank) else int(rank) + 1
+        target = max(1, target)
+        cumulative = 0
+        for value in sorted(self.counts):
+            cumulative += self.counts[value]
+            if cumulative >= target:
+                return value
+        return self.max_value  # pragma: no cover - counts always sum
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's observations into this one.
+
+        Lossless by construction (exact counts add), so a sharded run's
+        per-worker histograms merge into exactly the serial histogram —
+        the property the ``--workers`` byte-identity guarantee rests on.
+        Returns ``self`` for chaining.
+        """
+        self.count += other.count
+        self.total += other.total
+        for value, n in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + n
+        if other.min_value is not None and (
+                self.min_value is None or other.min_value < self.min_value):
+            self.min_value = other.min_value
+        if other.max_value is not None and (
+                self.max_value is None or other.max_value > self.max_value):
+            self.max_value = other.max_value
+        return self
+
+    def log2_buckets(self) -> List[Tuple[int, int]]:
+        """Display-only log₂ bucketing: ``(bucket_floor, count)`` pairs.
+
+        Bucket ``b`` covers values in ``[2**b, 2**(b+1))``; values below
+        1 land in the floor-0 bucket.  The exact counts stay intact —
+        this is a *view*, used by report renderers.
+        """
+        buckets: Dict[int, int] = {}
+        for value, n in self.counts.items():
+            floor = 1 << (value.bit_length() - 1) if value >= 1 else 0
+            buckets[floor] = buckets.get(floor, 0) + n
+        return sorted(buckets.items())
 
     def as_dict(self) -> Dict[str, Any]:
         return {

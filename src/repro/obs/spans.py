@@ -1,0 +1,292 @@
+"""Causal spans: who waited on what, across the whole upgrade.
+
+The trace layer answers "what happened, in order"; spans answer "what
+*caused* this request's latency".  A :class:`Span` is an interval of
+virtual time with a parent link, so a request span (gateway accept →
+response) can own the ring-stall waits that happened while it was being
+served, and an SLO report can walk from a violated request down to the
+dominant wait (see :mod:`repro.obs.slo`).
+
+Span kinds, by layer:
+
+* ``request`` (layer ``gateway``) — one closed-loop client request,
+  opened at send time and closed when the reply is read;
+* ``dsu.update`` / ``dsu.quiesce`` / ``dsu.fork`` / ``dsu.xform``
+  (layer ``dsu``) — the update lifecycle; ``dsu.update`` is the
+  umbrella, the others its children;
+* ``mve.ring-stall`` / ``mve.divergence`` / ``mve.demotion`` /
+  ``mve.promote`` (layer ``mve``) — ring back-pressure waits and
+  lifecycle transitions;
+* ``fleet.round`` / ``fleet.slot`` (layer ``fleet``) — canary-staged
+  upgrade rounds; probe requests issued inside a round become its
+  children via the open-span stack.
+
+Parenting uses **dynamic extent**: :meth:`SpanCollector.open` pushes the
+span on a stack, :meth:`SpanCollector.close` pops it, and any span
+created in between (opened or added closed) gets the stack top as its
+parent.  Known-interval waits (a ring stall is ``[t, freed_at]`` the
+moment it resolves) use :meth:`SpanCollector.add` and are born closed.
+
+The collector mirrors the tracer's zero-cost contract: spans are off by
+default (``Tracer(spans=False)`` keeps ``tracer.spans`` None), every
+instrumented call site guards with ``spans is not None``, and the
+class-level tallies (``created_total`` / ``opened_total``) let the
+overhead test assert the disabled path allocates *zero* span objects.
+
+Spans export as JSONL (schema ``repro-span/1``): a header line then one
+line per span.  ``validate_span_lines`` / ``validate_span_file`` check
+the shape; span *hygiene* (unclosed spans, orphan parents, end before
+start) is the MVE9xx lint's job (:mod:`repro.analysis.trace_lint`).
+
+Standard library only, so any layer of the stack can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+#: JSONL span schema identifier (bump on shape changes).
+SPAN_SCHEMA = "repro-span/1"
+
+#: Upgrade phases a request can be served in, in lifecycle order.
+PHASES = ("normal", "mve-active", "quiesce-pause", "promoted",
+          "rolled-back")
+
+
+class Span:
+    """One interval of virtual time with a causal parent link."""
+
+    __slots__ = ("span_id", "parent_id", "kind", "layer", "start_ns",
+                 "end_ns", "phase", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], kind: str,
+                 layer: str, start_ns: int, end_ns: Optional[int] = None,
+                 phase: str = "normal",
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.layer = layer
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.phase = phase
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        """Span length, or None while the span is still open."""
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def overlap_ns(self, start_ns: int, end_ns: int) -> int:
+        """How much of ``[start_ns, end_ns]`` this (closed) span covers."""
+        if self.end_ns is None:
+            return 0
+        return max(0, min(self.end_ns, end_ns) - max(self.start_ns,
+                                                     start_ns))
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "kind": self.kind,
+            "layer": self.layer,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "phase": self.phase,
+        }
+        for key, value in self.attrs.items():
+            payload[key] = value
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.span_id} {self.kind} "
+                f"[{self.start_ns}, {self.end_ns}]>")
+
+
+class SpanCollector:
+    """Collects spans with dynamic-extent causal parenting.
+
+    Class-level tallies exist so the zero-allocation regression test can
+    assert the disabled path creates nothing — counts, not wall-clock,
+    exactly like :class:`~repro.obs.trace.Tracer`'s tallies.
+    """
+
+    #: Collectors ever constructed (process lifetime).
+    created_total = 0
+    #: Spans ever created, across all collectors (process lifetime).
+    opened_total = 0
+
+    def __init__(self) -> None:
+        SpanCollector.created_total += 1
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: Current upgrade phase, stamped onto spans at creation.  The
+        #: DSU orchestrator advances it through :data:`PHASES`.
+        self.phase = PHASES[0]
+
+    # -- creation -----------------------------------------------------------
+
+    def _new_span(self, kind: str, layer: str, start_ns: int,
+                  end_ns: Optional[int], parent: Optional[int],
+                  attrs: Dict[str, Any]) -> Span:
+        if parent is None and self._stack:
+            parent = self._stack[-1].span_id
+        span = Span(self._next_id, parent, kind, layer, start_ns, end_ns,
+                    phase=self.phase, attrs=attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        SpanCollector.opened_total += 1
+        return span
+
+    def open(self, kind: str, layer: str, at: int,
+             **attrs: Any) -> Span:
+        """Start a span; spans created before :meth:`close` become its
+        children."""
+        span = self._new_span(kind, layer, at, None, None, attrs)
+        self._stack.append(span)
+        return span
+
+    def close(self, span: Span, at: int, **attrs: Any) -> Span:
+        """End an open span (must be the innermost open one)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(f"span {span.span_id} is not the innermost "
+                             f"open span")
+        self._stack.pop()
+        span.end_ns = at
+        span.attrs.update(attrs)
+        return span
+
+    def add(self, kind: str, layer: str, start_ns: int, end_ns: int,
+            parent: Optional[int] = None, **attrs: Any) -> Span:
+        """Record a known interval as a born-closed span.
+
+        ``parent`` overrides the dynamic-extent parent (the innermost
+        open span, if any).
+        """
+        return self._new_span(kind, layer, start_ns, end_ns, parent, attrs)
+
+    def set_phase(self, phase: str) -> None:
+        """Advance the upgrade phase stamped onto subsequent spans."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r} "
+                             f"(have: {', '.join(PHASES)})")
+        self.phase = phase
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def request_spans(self) -> List[Span]:
+        """All ``request`` spans, in creation order."""
+        return [span for span in self.spans if span.kind == "request"]
+
+    def children_of(self, span_id: int) -> List[Span]:
+        return [span for span in self.spans if span.parent_id == span_id]
+
+    def kind_tally(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for span in self.spans:
+            tally[span.kind] = tally.get(span.kind, 0) + 1
+        return tally
+
+    # -- export -------------------------------------------------------------
+
+    def to_jsonl_lines(self, experiment: str = "") -> List[str]:
+        """The spans as JSONL (header line, then one line per span)."""
+        lines = [json.dumps({"schema": SPAN_SCHEMA,
+                             "experiment": experiment,
+                             "spans": len(self.spans)})]
+        lines.extend(json.dumps(span.as_dict()) for span in self.spans)
+        return lines
+
+    def write_jsonl(self, path: str, experiment: str = "") -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.to_jsonl_lines(experiment):
+                handle.write(line + "\n")
+
+
+def iter_span_dicts(lines: List[str]) -> Iterator[Dict[str, Any]]:
+    """Parsed span objects from JSONL lines (header skipped); raises
+    ``ValueError`` on non-JSON lines."""
+    for line in lines[1:]:
+        yield json.loads(line)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (shape only; hygiene is the MVE9xx lint's job)
+# ---------------------------------------------------------------------------
+
+def validate_span_lines(lines: List[str]) -> List[str]:
+    """Check JSONL span lines against ``repro-span/1``.
+
+    Returns a list of problems (empty means valid): a header with the
+    right schema id and span count, then span lines carrying an integer
+    ``span`` id, integer ``start_ns``, ``end_ns`` integer or null,
+    ``parent`` integer or null, non-empty ``kind``/``layer`` strings,
+    and a ``phase`` from :data:`PHASES`.
+    """
+    problems: List[str] = []
+    if not lines:
+        return ["span file is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"line 1: not JSON ({exc})"]
+    if not isinstance(header, dict) \
+            or header.get("schema") != SPAN_SCHEMA:
+        schema = header.get("schema") if isinstance(header, dict) else None
+        problems.append(f"line 1: schema is {schema!r}, "
+                        f"expected {SPAN_SCHEMA!r}")
+    declared = header.get("spans") if isinstance(header, dict) else None
+    if not isinstance(declared, int) or declared < 0:
+        problems.append(f"line 1: 'spans' is {declared!r}, "
+                        f"expected a non-negative int")
+    elif declared != len(lines) - 1:
+        problems.append(f"header declares {declared} spans but the file "
+                        f"has {len(lines) - 1} span lines (truncated?)")
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            span = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {index}: not JSON ({exc})")
+            continue
+        if not isinstance(span, dict):
+            problems.append(f"line {index}: not an object")
+            continue
+        if not isinstance(span.get("span"), int):
+            problems.append(f"line {index}: 'span' is "
+                            f"{span.get('span')!r}, expected int")
+        if not isinstance(span.get("start_ns"), int):
+            problems.append(f"line {index}: 'start_ns' is "
+                            f"{span.get('start_ns')!r}, expected int")
+        end_ns = span.get("end_ns", "missing")
+        if end_ns is not None and not isinstance(end_ns, int):
+            problems.append(f"line {index}: 'end_ns' is {end_ns!r}, "
+                            f"expected int or null")
+        parent = span.get("parent", "missing")
+        if parent is not None and not isinstance(parent, int):
+            problems.append(f"line {index}: 'parent' is {parent!r}, "
+                            f"expected int or null")
+        for key in ("kind", "layer"):
+            value = span.get(key)
+            if not isinstance(value, str) or not value:
+                problems.append(f"line {index}: missing {key!r}")
+        if span.get("phase") not in PHASES:
+            problems.append(f"line {index}: phase {span.get('phase')!r} "
+                            f"not in {PHASES}")
+    return problems
+
+
+def validate_span_file(path: str) -> List[str]:
+    """Validate a JSONL span file; returns a list of problems."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    return validate_span_lines(lines)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanCollector
 
 #: JSONL trace schema identifier (bump on shape changes).
 TRACE_SCHEMA = "repro-trace/1"
@@ -98,11 +99,17 @@ class Tracer:
     emitted_total = 0
 
     def __init__(self, experiment: str = "",
-                 last_k: int = DEFAULT_LAST_K) -> None:
+                 last_k: int = DEFAULT_LAST_K,
+                 spans: bool = False) -> None:
         Tracer.created_total += 1
         self.experiment = experiment
         self.events: List[TraceEvent] = []
         self.metrics = MetricsRegistry()
+        #: Causal span collector, or None (the default): call sites guard
+        #: with ``tracer.spans is not None`` so span-off runs allocate no
+        #: span objects at all (see :mod:`repro.obs.spans`).
+        self.spans: Optional[SpanCollector] = \
+            SpanCollector() if spans else None
         #: Most recently advanced virtual time; used to stamp events
         #: from layers that do not carry a clock.
         self.vnow = 0

@@ -7,6 +7,7 @@
     python -m repro perf --repeat 3       # best-of-3 per scenario
     python -m repro perf --workers auto   # shard scenarios across CPUs
     python -m repro perf --diff BENCH_perf.json  # regression gate
+    python -m repro perf --slo            # virtual-time latency percentiles
 
 The BENCH_perf.json schema and the scenario catalogue are documented in
 ``docs/performance.md``.  ``--diff`` compares the fresh run against a
@@ -53,6 +54,10 @@ def perf_main(argv: Optional[Iterable[str]] = None) -> int:
                         help="shard scenarios across N processes ('auto' = "
                              "one per CPU; default: 1). Gauges and report "
                              "shape are identical to a serial run")
+    parser.add_argument("--slo", action="store_true",
+                        help="print the per-scenario virtual-time "
+                             "latency percentile table (the "
+                             "latency_p*_ns gauges from repro-perf/4)")
     parser.add_argument("--diff", metavar="BASELINE",
                         help="compare against a committed BENCH_perf.json; "
                              "exit 1 on gauge drift or rate regression")
@@ -80,6 +85,20 @@ def perf_main(argv: Optional[Iterable[str]] = None) -> int:
           "-" if r.ring_high_watermark is None else r.ring_high_watermark,
           "-" if r.ring_stalls is None else r.ring_stalls]
          for r in results]))
+
+    if args.slo:
+        latency_rows = [
+            [r.name, r.extras["latency_p50_ns"], r.extras["latency_p99_ns"],
+             r.extras["latency_p999_ns"]]
+            for r in results if "latency_p50_ns" in r.extras]
+        print()
+        if latency_rows:
+            print("virtual-time request latency (exact, deterministic):")
+            print(format_table(
+                ["scenario", "p50 (ns)", "p99 (ns)", "p999 (ns)"],
+                latency_rows))
+        else:
+            print("no selected scenario reports latency percentiles")
 
     exit_code = 0
     payload = to_bench_dict(results, quick=args.quick, workers=workers)

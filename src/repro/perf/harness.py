@@ -6,9 +6,11 @@ must not regress.  ``BENCH_perf.json`` maps each scenario name to
 ``{wall_s, vreq_per_s, syscalls_per_s}`` — plus every deterministic
 gauge the scenario's thunk returned in its ``extras`` dict (ring
 pressure for the ring scenarios, recovery latency for the chaos
-scenario) — and a ``_meta`` entry that records how the run was
-parameterized: ops per scenario, worker count, CPU count, and the
-scenario execution order (``repro-perf/3``).
+scenario, exact virtual-time request percentiles
+``latency_p50_ns``/``latency_p99_ns``/``latency_p999_ns`` for the
+request-loop scenarios) — and a ``_meta`` entry that records how the
+run was parameterized: ops per scenario, worker count, CPU count, and
+the scenario execution order (``repro-perf/4``).
 
 Scenarios are independent, so ``run_scenarios`` can shard them across
 worker processes (``workers > 1``).  Results come back indexed and are
@@ -29,7 +31,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.perf.scenarios import SCENARIOS, Scenario
 
 #: BENCH_perf.json schema identifier (bump on shape changes).
-SCHEMA = "repro-perf/3"
+#: /4 added per-scenario virtual-time latency percentiles
+#: (``latency_p50_ns``/``latency_p99_ns``/``latency_p999_ns``).
+SCHEMA = "repro-perf/4"
 
 #: Per-scenario keys whose values are wall-clock measurements.  They are
 #: machine-dependent by nature: the ``--diff`` gate compares them by
@@ -37,7 +41,7 @@ SCHEMA = "repro-perf/3"
 #: serial runs only in these keys.
 WALL_CLOCK_KEYS = frozenset({"wall_s", "vreq_per_s", "syscalls_per_s"})
 
-#: ``_meta`` keys every repro-perf/3 payload must carry.
+#: ``_meta`` keys every repro-perf/4 payload must carry.
 _META_KEYS = ("schema", "quick", "ops", "python", "workers", "cpu_count",
               "scenario_order")
 
@@ -177,7 +181,7 @@ def to_bench_dict(results: List[BenchResult], *, quick: bool = False,
 
 
 def validate_bench(payload: Dict) -> List[str]:
-    """Schema check for a repro-perf/3 payload; returns problem strings
+    """Schema check for a repro-perf/4 payload; returns problem strings
     (empty means valid).  Mirrors ``repro.chaos.campaign.validate_report``
     so CI can gate on the artifact it just wrote."""
     problems: List[str] = []

@@ -49,6 +49,7 @@ from repro.mve.dsl.rules import (
     SyscallPattern,
 )
 from repro.net import VirtualKernel
+from repro.obs.slo import summarize_latencies
 from repro.servers.kvstore import KVStoreServer, KVStoreV1
 from repro.servers.redis import (
     RedisServer,
@@ -157,7 +158,11 @@ def _command_loop(runtime, client, commands) -> Thunk:
         for command in commands:
             _, now = client.request(runtime, command, now + 1)
             handled += 1
-        return handled, _total_syscalls(runtime), _ring_extras(runtime)
+        extras = _ring_extras(runtime)
+        # Exact virtual-time request percentiles (deterministic, so they
+        # are gauges for --diff purposes, not wall-clock quantities).
+        extras.update(summarize_latencies(client.latencies_ns))
+        return handled, _total_syscalls(runtime), extras
     return thunk
 
 
@@ -188,7 +193,9 @@ def build_mve_follower(ops: int) -> Thunk:
     def thunk() -> Tuple[int, int, Dict[str, int]]:
         handled, syscalls, _ = loop()
         runtime.drain_follower()
-        return handled, syscalls, _ring_extras(runtime)
+        extras = _ring_extras(runtime)
+        extras.update(summarize_latencies(client.latencies_ns))
+        return handled, syscalls, extras
     return thunk
 
 
@@ -225,8 +232,9 @@ def build_ring_sweep(capacity: int) -> Callable[[int], Thunk]:
             for command in commands:
                 _, now = client.request(runtime, command, now + 1)
             runtime.drain_follower()
-            return len(commands), runtime.total_syscalls, \
-                _ring_extras(runtime)
+            extras = _ring_extras(runtime)
+            extras.update(summarize_latencies(client.latencies_ns))
+            return len(commands), runtime.total_syscalls, extras
         return thunk
     return build
 
@@ -280,8 +288,11 @@ def build_chaos_recovery(ops: int) -> Thunk:
             vrequests += len(result.observations)
             syscalls += result.syscalls
             if result.injections and result.recovery_at is not None:
-                first = result.injections[0]["at"]
-                latencies.append(max(0, result.recovery_at - first))
+                # Raw signed delta — a negative value is an ordering
+                # anomaly the campaign classifier reports loudly, so the
+                # perf extras must not paper over it either.
+                latencies.append(result.recovery_at
+                                 - result.injections[0]["at"])
         extras = {"recovered_runs": len(latencies)}
         if latencies:
             extras["recovery_latency_min_ns"] = min(latencies)

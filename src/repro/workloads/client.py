@@ -41,9 +41,24 @@ class VirtualClient:
         a :class:`~repro.servers.native.NativeRuntime` or a
         :class:`~repro.mve.varan.VaranRuntime`.
         """
-        self.send(data)
-        done = runtime.pump(now)
-        response = self.recv()
+        tracer = self.kernel.tracer
+        spans = tracer.spans if tracer is not None else None
+        if spans is None:
+            self.send(data)
+            done = runtime.pump(now)
+            response = self.recv()
+            self.latencies_ns.append(done - now)
+            return response, done
+        span = spans.open("request", "gateway", now, client=self.name,
+                          nbytes=len(data))
+        try:
+            self.send(data)
+            done = runtime.pump(now)
+            response = self.recv()
+        except BaseException:
+            spans.close(span, now, error=True)
+            raise
+        spans.close(span, done, answered=bool(response))
         self.latencies_ns.append(done - now)
         return response, done
 

@@ -9,6 +9,7 @@ from repro.chaos import Fault, FaultPlan, at_time, on_call
 from repro.chaos.campaign import (
     CHAOS_SCHEMA,
     OUTCOMES,
+    cell_entry,
     classify,
     default_grid,
     probe_site_calls,
@@ -102,6 +103,24 @@ class TestClassification:
         outcome, detail = classify(result, golden)
         assert outcome == "availability-loss"
 
+    def test_negative_recovery_delta_is_a_loud_ordering_anomaly(self, golden):
+        plan = FaultPlan("corrupt", (
+            Fault("mve.follower", "corrupt-record", on_call(2)),))
+        result = run_cell(plan)
+        assert result.injections and result.recovery_at is not None
+        first_at = result.injections[0]["at"]
+        entry = cell_entry("corrupt", plan, result, golden)
+        # The raw signed delta is recorded, not clamped to zero.
+        assert entry["recovery_latency_ns"] == result.recovery_at - first_at
+        assert entry["outcome"] != "ordering-anomaly"
+        # Rewind the recovery before the injection: the classifier must
+        # not normalise it away.
+        result.recovery_at = first_at - 7
+        anomaly = cell_entry("corrupt", plan, result, golden)
+        assert anomaly["outcome"] == "ordering-anomaly"
+        assert anomaly["recovery_latency_ns"] == -7
+        assert "predates" in anomaly["detail"]
+
 
 # ---------------------------------------------------------------------------
 # The full campaign and its report
@@ -113,8 +132,12 @@ class TestCampaignReport:
         assert full_report["schema"] == CHAOS_SCHEMA
         assert full_report["cells"] >= 200
         assert full_report["outcomes"]["invariant-violation"] == 0
-        # Every outcome class except violations is actually exercised.
-        for outcome in OUTCOMES[:-1]:
+        # A negative recovery delta would be a simulator causality bug.
+        assert full_report["outcomes"]["ordering-anomaly"] == 0
+        # Every healthy outcome class is actually exercised.
+        for outcome in OUTCOMES:
+            if outcome in ("ordering-anomaly", "invariant-violation"):
+                continue
             assert full_report["outcomes"][outcome] > 0, outcome
 
     def test_report_is_bit_identical_across_runs(self, full_report):

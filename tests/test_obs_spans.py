@@ -1,0 +1,209 @@
+"""The causal span layer: zero-cost when disabled, dynamic-extent
+parenting when enabled, and the ``repro-span/1`` validators.
+
+The zero-allocation tests mirror ``test_obs_overhead.py``: "free" is
+asserted in counts, not wall-clock — :class:`SpanCollector` keeps
+process-lifetime class tallies exactly so this test can pin the
+disabled path to *zero span objects*.
+"""
+
+import pytest
+
+from repro.analysis.trace_lint import lint_span_file, lint_spans
+from repro.obs import Tracer, current_tracer, tracing
+from repro.obs.spans import (
+    PHASES,
+    SPAN_SCHEMA,
+    SpanCollector,
+    validate_span_file,
+    validate_span_lines,
+)
+from repro.perf.scenarios import build_rule_heavy_mve_redis
+
+FIXTURE = "tests/fixtures/bad_spans.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Zero-allocation contract
+# ---------------------------------------------------------------------------
+
+
+class TestDisabledPath:
+    def test_no_tracer_allocates_no_spans(self):
+        assert current_tracer() is None
+        collectors_before = SpanCollector.created_total
+        spans_before = SpanCollector.opened_total
+
+        thunk = build_rule_heavy_mve_redis(32)
+        vrequests, syscalls, extras = thunk()
+
+        # The workload really ran, through every instrumented hook...
+        assert vrequests == 32
+        assert syscalls > 0
+        assert extras["ring_high_watermark"] > 0
+        # ...and not one span object was born.
+        assert SpanCollector.created_total == collectors_before
+        assert SpanCollector.opened_total == spans_before
+
+    def test_tracer_without_spans_allocates_no_spans(self):
+        # A tracer alone must not wake the span layer: spans are a
+        # second, independent opt-in.
+        collectors_before = SpanCollector.created_total
+        spans_before = SpanCollector.opened_total
+        with tracing(Tracer(experiment="span-overhead")) as tracer:
+            thunk = build_rule_heavy_mve_redis(8)
+            thunk()
+        assert tracer.spans is None
+        assert tracer.events  # tracing itself did record
+        assert SpanCollector.created_total == collectors_before
+        assert SpanCollector.opened_total == spans_before
+
+    def test_enabled_path_actually_records(self):
+        # Control experiment: the same workload with spans enabled does
+        # record — proving the zeros above measure the guard, not dead
+        # hooks.
+        with tracing(Tracer(experiment="span-control",
+                            spans=True)) as tracer:
+            thunk = build_rule_heavy_mve_redis(8)
+            thunk()
+        assert tracer.spans is not None
+        tally = tracer.spans.kind_tally()
+        assert tally.get("request", 0) == 8
+        assert all(span.end_ns is not None
+                   for span in tracer.spans.request_spans())
+
+
+# ---------------------------------------------------------------------------
+# Collector semantics
+# ---------------------------------------------------------------------------
+
+
+class TestCollector:
+    def test_dynamic_extent_parenting(self):
+        c = SpanCollector()
+        outer = c.open("fleet.round", "fleet", 0)
+        inner = c.open("request", "gateway", 10)
+        stall = c.add("mve.ring-stall", "mve", 12, 15)
+        c.close(inner, 20)
+        c.close(outer, 30)
+        orphan = c.add("mve.demotion", "mve", 40, 40)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert stall.parent_id == inner.span_id
+        assert orphan.parent_id is None
+        assert [s.span_id for s in c.children_of(inner.span_id)] \
+            == [stall.span_id]
+
+    def test_explicit_parent_overrides_the_stack(self):
+        c = SpanCollector()
+        umbrella = c.add("dsu.update", "dsu", 0, 100)
+        child = c.add("dsu.quiesce", "dsu", 0, 10,
+                      parent=umbrella.span_id)
+        assert child.parent_id == umbrella.span_id
+
+    def test_close_enforces_stack_discipline(self):
+        c = SpanCollector()
+        outer = c.open("request", "gateway", 0)
+        c.open("request", "gateway", 1)
+        with pytest.raises(ValueError, match="innermost"):
+            c.close(outer, 5)
+
+    def test_phase_is_stamped_at_creation_and_validated(self):
+        c = SpanCollector()
+        before = c.add("request", "gateway", 0, 1)
+        c.set_phase("mve-active")
+        after = c.add("request", "gateway", 2, 3)
+        assert (before.phase, after.phase) == ("normal", "mve-active")
+        with pytest.raises(ValueError, match="unknown phase"):
+            c.set_phase("warp-speed")
+        assert c.phase == "mve-active"
+
+    def test_overlap_is_clamped_and_open_spans_contribute_zero(self):
+        c = SpanCollector()
+        closed = c.add("dsu.quiesce", "dsu", 10, 20)
+        opened = c.open("request", "gateway", 10)
+        assert closed.overlap_ns(0, 100) == 10
+        assert closed.overlap_ns(15, 17) == 2
+        assert closed.overlap_ns(50, 60) == 0
+        assert opened.overlap_ns(0, 100) == 0
+        assert opened.duration_ns is None
+
+
+# ---------------------------------------------------------------------------
+# repro-span/1 validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def _round_trip(self, tmp_path):
+        c = SpanCollector()
+        span = c.open("request", "gateway", 0, client="c0")
+        c.close(span, 5, answered=True)
+        c.add("mve.ring-stall", "mve", 1, 3)
+        path = tmp_path / "spans.jsonl"
+        c.write_jsonl(str(path), experiment="unit")
+        return path
+
+    def test_round_trip_validates(self, tmp_path):
+        path = self._round_trip(tmp_path)
+        assert validate_span_file(str(path)) == []
+        first = path.read_text().splitlines()[0]
+        assert SPAN_SCHEMA in first
+
+    def test_truncated_file_is_caught(self, tmp_path):
+        path = self._round_trip(tmp_path)
+        lines = path.read_text().splitlines()
+        assert any("truncated" in p
+                   for p in validate_span_lines(lines[:-1]))
+
+    def test_malformed_lines_are_caught(self, tmp_path):
+        path = self._round_trip(tmp_path)
+        lines = path.read_text().splitlines()
+        assert validate_span_lines([]) == ["span file is empty"]
+        assert any("not JSON" in p
+                   for p in validate_span_lines(["{nope", *lines[1:]]))
+        bad_schema = lines[:]
+        bad_schema[0] = '{"schema": "repro-span/0", "spans": 2}'
+        assert any("schema" in p for p in validate_span_lines(bad_schema))
+        bad_phase = lines[:]
+        bad_phase[1] = bad_phase[1].replace('"normal"', '"sideways"')
+        assert any("phase" in p for p in validate_span_lines(bad_phase))
+        no_id = lines[:]
+        no_id[1] = no_id[1].replace('"span": 1', '"span": "one"')
+        assert any("'span'" in p for p in validate_span_lines(no_id))
+
+    def test_phase_catalogue_is_the_upgrade_lifecycle(self):
+        assert PHASES == ("normal", "mve-active", "quiesce-pause",
+                          "promoted", "rolled-back")
+
+
+# ---------------------------------------------------------------------------
+# MVE9xx span hygiene (satellite: trace_lint)
+# ---------------------------------------------------------------------------
+
+
+class TestSpanHygiene:
+    def test_bad_fixture_trips_all_three_rules(self):
+        findings = lint_span_file(FIXTURE)
+        codes = sorted(f.code for f in findings)
+        assert codes == ["MVE901", "MVE902", "MVE903"]
+        by_code = {f.code: f for f in findings}
+        assert by_code["MVE901"].severity.value == "warning"
+        assert by_code["MVE902"].severity.value == "error"
+        assert by_code["MVE903"].severity.value == "error"
+        # Locations are file:line, pointing at the offending span line.
+        assert by_code["MVE902"].location.endswith(":4")
+
+    def test_clean_collector_output_has_no_findings(self, tmp_path):
+        c = SpanCollector()
+        span = c.open("request", "gateway", 0)
+        c.add("mve.ring-stall", "mve", 1, 2)
+        c.close(span, 5)
+        assert lint_spans(c.to_jsonl_lines("unit")) == []
+
+    def test_unparseable_lines_are_skipped_not_fatal(self):
+        lines = ['{"schema": "repro-span/1", "spans": 1}', "{nope",
+                 '{"span": 1, "parent": null, "kind": "request", '
+                 '"layer": "gateway", "start_ns": 0, "end_ns": 1, '
+                 '"phase": "normal"}']
+        assert lint_spans(lines) == []

@@ -264,7 +264,7 @@ class TestPerfParallel:
         results = run_scenarios(["rules-redis-stream"], ops=40)
         payload = to_bench_dict(results, quick=True, workers=3)
         meta = payload["_meta"]
-        assert meta["schema"] == "repro-perf/3"
+        assert meta["schema"] == "repro-perf/4"
         assert meta["workers"] == 3
         assert meta["cpu_count"] >= 1
         assert meta["scenario_order"] == ["rules-redis-stream"]
