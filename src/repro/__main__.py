@@ -17,6 +17,7 @@
     python -m repro fleet canary-kvstore  # sharded fleet canary upgrade
     python -m repro replay STREAM # re-drive a version against a recording
     python -m repro slo fig7      # span-traced SLO report + attributions
+    python -m repro openloop kvstore  # open-loop load vs upgrade waves
 
 ``lint`` takes its own flags (``--json``, ``--app APP``,
 ``--catalog PATH``); see ``docs/linting.md``.  ``perf`` does too
@@ -86,15 +87,19 @@ def main(argv=None) -> int:
         # and the span-traced SLO engine.
         from repro.obs.slo_cli import slo_main
         return slo_main(argv[1:])
+    if argv and argv[0] == "openloop":
+        # and the open-loop workload engine.
+        from repro.workloads.openloop_cli import openloop_main
+        return openloop_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the MVEDSUA (ASPLOS 2019) evaluation.")
     parser.add_argument("experiment",
                         choices=sorted(_COMMANDS) + ["all", "chaos",
                                                      "fleet", "lint",
-                                                     "perf", "prove",
-                                                     "replay", "slo",
-                                                     "trace"],
+                                                     "openloop", "perf",
+                                                     "prove", "replay",
+                                                     "slo", "trace"],
                         help="which experiment to run ('lint' runs the "
                              "mvelint static analyzers; 'prove' the "
                              "MVE8xx divergence prover; 'perf' the "
@@ -103,7 +108,8 @@ def main(argv=None) -> int:
                              "fault-injection campaign; 'fleet' a "
                              "sharded canary upgrade; 'replay' re-drives "
                              "a version against a recorded stream; 'slo' "
-                             "a span-traced SLO report)")
+                             "a span-traced SLO report; 'openloop' the "
+                             "open-loop workload engine)")
     parser.add_argument("--trace", metavar="PATH", dest="trace_path",
                         help="run with the structured tracer installed "
                              "and write a JSONL trace to PATH afterwards")

@@ -44,6 +44,10 @@ class AppConfig:
     #: :class:`~repro.cluster.shard.FleetSpec` topologies, linted by
     #: MVE7xx.
     fleet_topologies: Tuple[Callable[[], object], ...] = ()
+    #: Zero-argument factories returning the app's open-loop
+    #: :class:`~repro.workloads.openloop.LoadSpec` workloads, linted by
+    #: MVE10xx.
+    workload_specs: Tuple[Callable[[], object], ...] = ()
     #: ``(code, location_substring)`` pairs of accepted findings; keep a
     #: comment next to each entry saying *why* it is acceptable.
     allow: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
@@ -85,6 +89,11 @@ def _kvstore_config() -> AppConfig:
         from repro.cluster.shard import FleetSpec
         return FleetSpec(shards=3, replicas_per_shard=3, wave_size=1)
 
+    def openloop_spec():
+        # The python -m repro openloop kvstore workload.
+        from repro.workloads.openloop_scenarios import OPENLOOP_SPECS
+        return OPENLOOP_SPECS["kvstore"][0]
+
     return AppConfig(
         name="kvstore",
         versions=kvstore_registry(),
@@ -94,6 +103,7 @@ def _kvstore_config() -> AppConfig:
                        b"PUT gamma three"),
         fault_plans=(campaign_plan,),
         fleet_topologies=(canary_topology,),
+        workload_specs=(openloop_spec,),
         allow=(
             # §3.3.2: after promotion the new leader executes commands
             # the old follower cannot mirror; the follower diverges and
@@ -122,6 +132,11 @@ def _redis_config() -> AppConfig:
         from repro.chaos.plans import e1_new_code_plan
         return e1_new_code_plan()
 
+    def openloop_spec():
+        # The python -m repro openloop redis workload (bursty MMPP).
+        from repro.workloads.openloop_scenarios import OPENLOOP_SPECS
+        return OPENLOOP_SPECS["redis"][0]
+
     return AppConfig(
         name="redis",
         versions=redis_registry(),
@@ -130,6 +145,7 @@ def _redis_config() -> AppConfig:
         seed_requests=(b"SET alpha one", b"SET beta two",
                        b"SET gamma three"),
         fault_plans=(e1_plan,),
+        workload_specs=(openloop_spec,),
     )
 
 

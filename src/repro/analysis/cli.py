@@ -1,6 +1,6 @@
 """The ``python -m repro lint`` entry point.
 
-Runs all eight mvelint analyzers over an app catalog and prints the
+Runs all nine mvelint analyzers over an app catalog and prints the
 report in one of three formats (``--format human|json|sarif``; the
 legacy ``--json`` flag is an alias for ``--format json`` and emits
 byte-identical output).  The exit status contract, documented in
@@ -36,6 +36,7 @@ from repro.analysis.paths import audit_paths
 from repro.analysis.rules_lint import lint_rules
 from repro.analysis.trace_lint import lint_trace_tags
 from repro.analysis.transform_audit import audit_transforms
+from repro.analysis.workload_lint import lint_workload_specs
 from repro.errors import NoUpdatePath
 
 EXIT_CLEAN = 0
@@ -73,6 +74,7 @@ def run_app(config: AppConfig, *, prove: bool = False) -> LintReport:
                                    config.seed_requests))
     report.extend(lint_fault_plans(app, config.fault_plans))
     report.extend(lint_fleet_topologies(app, config.fleet_topologies))
+    report.extend(lint_workload_specs(app, config.workload_specs))
     if prove:
         from repro.analysis.prover import prove_app
         prove_result = prove_app(config)

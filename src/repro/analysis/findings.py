@@ -16,6 +16,7 @@ MVE6xx fault-plan lint (:mod:`repro.analysis.chaos_lint`)
 MVE7xx fleet-topology lint (:mod:`repro.analysis.fleet_lint`)
 MVE8xx symbolic divergence prover (:mod:`repro.analysis.prover`)
 MVE9xx span-hygiene lint (:mod:`repro.analysis.trace_lint`)
+MVE10xx workload-spec lint (:mod:`repro.analysis.workload_lint`)
 ====== ==========================================================
 
 :data:`RULE_METADATA` names every code for external report formats
@@ -78,6 +79,11 @@ RULE_METADATA: Dict[str, str] = {
     "MVE901": "span never closed (end_ns is null at end of run)",
     "MVE902": "span references a parent id no span in the file has",
     "MVE903": "span ends before it starts (end_ns < start_ns)",
+    "MVE1001": "unknown arrival process or key distribution",
+    "MVE1002": "non-positive or malformed arrival rate / dwell time",
+    "MVE1003": "Zipf exponent outside the supported (0, 4] range",
+    "MVE1004": "more concurrent connections than logical clients",
+    "MVE1005": "malformed workload-spec shape",
 }
 
 

@@ -1,0 +1,71 @@
+"""Analyzer 9: workload-spec lint (MVE10xx).
+
+Open-loop :class:`~repro.workloads.openloop.LoadSpec` values are plain
+data — an arrival-process mapping, a key-popularity mapping, churn
+counts — and every field failure is silent at runtime in the worst
+way: a typo'd distribution name or a zero rate does not crash the
+generator so much as produce a workload that measures *nothing* (an
+empty arrival stream, a degenerate keyspace), and the resulting report
+looks like a clean SLO pass.  Linting specs statically closes that
+hole the same way MVE6xx closes fault-plan drift.
+
+======= ============================================================
+Code    Meaning
+======= ============================================================
+MVE1001 unknown arrival process or key distribution (ERROR — the
+        generator cannot build the stream at all)
+MVE1002 non-positive or malformed arrival rate / dwell time (ERROR —
+        the offered load is zero or undefined)
+MVE1003 Zipf exponent outside the supported (0, 4] range (ERROR —
+        the popularity CDF degenerates or overflows)
+MVE1004 more concurrent connections than logical clients (ERROR —
+        churn can never rotate every slot onto a distinct client)
+MVE1005 malformed spec shape: non-positive population, connections,
+        request count, session length, value size, reconnect time,
+        or a read fraction outside [0, 1] (ERROR)
+======= ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.workloads.openloop import LoadSpec, spec_problems
+
+ANALYZER = "workload-lint"
+
+#: ``spec_problems`` category -> finding code.
+CATEGORY_CODES = {
+    "arrival-process": "MVE1001",
+    "key-distribution": "MVE1001",
+    "arrival-rate": "MVE1002",
+    "zipf-exponent": "MVE1003",
+    "churn": "MVE1004",
+    "shape": "MVE1005",
+}
+
+
+def lint_load_spec(app: str, spec: LoadSpec) -> List[Finding]:
+    """All MVE10xx findings for one load spec."""
+    findings: List[Finding] = []
+    location = f"{app} workload {spec.name}"
+    for category, message in spec_problems(spec):
+        code = CATEGORY_CODES[category]
+        findings.append(Finding(code, Severity.ERROR, ANALYZER, app,
+                                location, message))
+    return findings
+
+
+def lint_workload_specs(app: str,
+                        spec_factories: Iterable[Callable[[], LoadSpec]]
+                        ) -> List[Finding]:
+    """Lint every load spec an app's catalog entry declares.
+
+    Specs are declared as zero-argument factories, like fault plans
+    and fleet topologies, so the catalog stays import-cycle-free.
+    """
+    findings: List[Finding] = []
+    for factory in spec_factories:
+        findings.extend(lint_load_spec(app, factory()))
+    return findings

@@ -58,6 +58,8 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "fleet.replica": ("crash",),
     "fleet.canary": ("divergence",),
     "fleet.balancer": ("partition",),
+    # workloads/openloop.py — the open-loop arrival stream.
+    "openloop.arrival": ("burst", "drop"),
 }
 
 #: Legal trigger kinds (see the module docstring).

@@ -17,6 +17,14 @@ report's ``slo`` key, and adds per-round SLO availability columns to
 the round table — requests whose gateway span overlaps the round, and
 the fraction of them that got an answer.  Without the flag the report
 is byte-identical to earlier releases.
+
+``--openloop`` swaps the fixed 100 ms command pacing for the open-loop
+generator's Poisson arrivals and Zipf-popular keys (see
+``docs/workloads.md``).  Combined with ``--slo``, the per-round
+availability column switches to *achieved* accounting: the denominator
+is every request offered (sent) during the round window, and only
+requests that actually completed with an answer count as available —
+a request stalled behind an upgrade pause is not.
 """
 
 from __future__ import annotations
@@ -51,6 +59,12 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
                              "repro-slo/1 section under the report's "
                              "'slo' key, and add per-round SLO "
                              "availability columns")
+    parser.add_argument("--openloop", action="store_true",
+                        help="drive rounds from the open-loop "
+                             "generator (Poisson arrivals, Zipf keys); "
+                             "with --slo, round availability counts "
+                             "achieved completions, not offered "
+                             "requests")
     args = parser.parse_args(argv)
 
     collector = None
@@ -63,7 +77,8 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
         with tracing(tracer):
             report = run_fleet_scenario(args.scenario, args.seed,
                                         shards=args.shards,
-                                        replicas=args.replicas)
+                                        replicas=args.replicas,
+                                        openloop=args.openloop)
         collector = tracer.spans
         cell = collect_cell(collector, args.scenario, spec)
         report["slo"] = build_slo_report(args.scenario, args.seed,
@@ -71,13 +86,19 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         report = run_fleet_scenario(args.scenario, args.seed,
                                     shards=args.shards,
-                                    replicas=args.replicas)
+                                    replicas=args.replicas,
+                                    openloop=args.openloop)
 
     topology = report["topology"]
     print(f"fleet scenario: {args.scenario} "
           f"({topology['shards']} shards x "
           f"{topology['replicas_per_shard']} replicas, "
           f"seed {report['seed']})")
+    if args.openloop:
+        traffic = report["traffic"]
+        print(f"traffic: open-loop ({traffic['process']} "
+              f"@ {traffic['rate_per_sec']:g}/s, "
+              f"{traffic['key_distribution']} keys)")
     print()
     headers = ["round", "outcome", "updated", "demoted"]
     if args.slo:
@@ -90,7 +111,8 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
         if args.slo:
             total, answered = _round_availability(
                 collector, round_payload["started_at"],
-                round_payload["finished_at"])
+                round_payload["finished_at"],
+                achieved=args.openloop)
             row += [str(total),
                     f"{answered / total:.4f}" if total else "-"]
         rows.append(row)
@@ -135,15 +157,31 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
     return 1 if violations or problems else 0
 
 
-def _round_availability(collector, start: int, finish: int):
+def _round_availability(collector, start: int, finish: int, *,
+                        achieved: bool = False):
     """(requests, answered) for gateway spans overlapping a round.
 
     A request counts toward a round when its span intersects the
     round's ``[started_at, finished_at]`` window — that is exactly the
     population whose latency the round's quiesce pauses can touch.
+
+    ``achieved=True`` is the open-loop variant: the denominator is
+    every request *offered* (span started) inside the window, and only
+    spans that actually closed with an answer count — so a request the
+    round's pause left stalled drags availability down instead of
+    silently inflating the overlap set.
     """
     total = answered = 0
     for span in collector.request_spans():
+        if achieved:
+            if span.start_ns < start or span.start_ns > finish:
+                continue
+            total += 1
+            if span.end_ns is not None \
+                    and span.attrs.get("answered", True) \
+                    and not span.attrs.get("error"):
+                answered += 1
+            continue
         end = span.end_ns if span.end_ns is not None else span.start_ns
         if end < start or span.start_ns > finish:
             continue

@@ -45,6 +45,11 @@ FLEET_SCHEMA = "repro-fleet/1"
 #: they are excluded from cross-replica agreement and the final table.
 PROBE_PREFIX = "__probe"
 
+#: Offered rate of the ``--openloop`` traffic mode.  The closed-loop
+#: default paces one command per 100 ms (10/s); the open-loop generator
+#: offers 4x that so upgrade-round pauses actually queue arrivals.
+OPENLOOP_RATE_PER_SEC = 40.0
+
 
 def build_kv_fleet(spec: FleetSpec) -> Tuple[VirtualKernel, ShardMap,
                                              FleetBalancer]:
@@ -208,8 +213,8 @@ def _merged_final_table(shard_map: ShardMap) -> Tuple[Dict[str, str],
 
 def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
                        shards: int = 3, replicas: int = 3,
-                       sessions: int = 4,
-                       commands: int = 36) -> Dict[str, Any]:
+                       sessions: int = 4, commands: int = 36,
+                       openloop: bool = False) -> Dict[str, Any]:
     """Run the canary-upgrade fleet scenario; returns the report dict.
 
     Three traffic phases bracket two upgrade rounds: a buggy 2.0 build
@@ -217,6 +222,11 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
     fleet stays on 1.0), then the fixed 2.0 build (``completed``).
     Everything is driven from ``random.Random(seed)`` and virtual time,
     so the report is bit-identical across runs.
+
+    ``openloop=True`` replaces the fixed 100 ms command pacing with
+    Poisson arrivals and Zipf-popular GET keys from dedicated
+    :mod:`repro.sim.rng` streams (the closed-loop rng sequence is
+    untouched, so the default report stays byte-identical).
     """
     spec = FleetSpec(shards, replicas, wave_size=1)
     kernel, shard_map, balancer = build_kv_fleet(spec)
@@ -229,20 +239,40 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
             for i in range(sessions)]
     known_keys: List[str] = []
     next_key = [0]
+    if openloop:
+        from repro.sim.rng import RngStreams
+        from repro.workloads.arrivals import PoissonArrivals
+        from repro.workloads.keyspace import ZipfKeys
+        streams = RngStreams(seed)
+        arrival_rng = streams.stream("fleet.openloop.arrivals")
+        key_rng = streams.stream("fleet.openloop.keys")
+        arrivals = PoissonArrivals(OPENLOOP_RATE_PER_SEC)
+        # Rank 0 (most popular) maps onto the oldest known key; the
+        # modulus keeps the rank meaningful while the key set grows.
+        zipf = ZipfKeys(256, exponent=1.1)
 
     def traffic(t: int, count: int) -> int:
+        times = (list(arrivals.times(arrival_rng, count, start_ns=t))
+                 if openloop else None)
         for n in range(count):
             session = pool[n % len(pool)]
+            at = times[n] if openloop else t
             if known_keys and rng.random() < 0.4:
-                line = f"GET {rng.choice(known_keys)}"
+                if openloop:
+                    key = known_keys[zipf.sample(key_rng)
+                                     % len(known_keys)]
+                else:
+                    key = rng.choice(known_keys)
+                line = f"GET {key}"
             else:
                 key = f"{session.name}-k{next_key[0]}"
                 next_key[0] += 1
                 line = f"PUT {key} v{next_key[0]}"
                 known_keys.append(key)
-            session.command(line, t)
-            t += 100 * MILLISECOND
-        return t
+            session.command(line, at)
+            if not openloop:
+                t += 100 * MILLISECOND
+        return times[-1] + 1 if openloop and times else t
 
     phase = max(1, commands // 3)
     t = SECOND
@@ -259,7 +289,7 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
     syscalls = sum(getattr(node.runtime, "runtime", node.runtime)
                    .total_syscalls for node in shard_map.nodes())
     chaos = kernel.chaos
-    return {
+    report: Dict[str, Any] = {
         "schema": FLEET_SCHEMA,
         "scenario": scenario,
         "seed": seed,
@@ -286,6 +316,16 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
                         for injection in chaos.injections]
                        if chaos is not None else []),
     }
+    if openloop:
+        # Added only in open-loop mode: the default report must stay
+        # byte-identical to earlier releases.
+        report["traffic"] = {
+            "mode": "open-loop",
+            "process": "poisson",
+            "rate_per_sec": OPENLOOP_RATE_PER_SEC,
+            "key_distribution": "zipf",
+        }
+    return report
 
 
 def validate_report(payload: Dict[str, Any]) -> List[str]:

@@ -30,6 +30,10 @@ Scenario catalogue:
 * ``chaos-campaign-parallel`` — the chaos campaign grid serial vs
   sharded across 8 workers, recording the measured speedup and a
   byte-identity check between the two reports.
+* ``openloop-upgrade-waves`` — the open-loop kvstore workload
+  (``repro.workloads.openloop``) through restart vs Mvedsua upgrade
+  waves, reporting the deterministic coordinated-omission gauges
+  (offered vs achieved rate, upgrade-window p99, SLO availability).
 """
 
 from __future__ import annotations
@@ -379,6 +383,55 @@ def build_fleet_canary_upgrade(ops: int) -> Thunk:
 
 
 # ---------------------------------------------------------------------------
+# Open-loop scenario: tail latency through identical upgrade waves
+# ---------------------------------------------------------------------------
+
+def build_openloop_upgrade_waves(ops: int) -> Thunk:
+    """The ``python -m repro openloop kvstore`` scenario end to end.
+
+    ``ops`` maps onto the workload's arrival budget: anything below the
+    spec's full 2400 requests runs the ``--quick`` variant.  Wall-clock
+    throughput measures the whole open-loop stack (arrival generation,
+    flyweight churn, six serve cells, histogram reporting); the extras
+    pin the deterministic virtual-time gauges the coordinated-omission
+    headline rests on — offered vs achieved rate, the upgrade-window
+    p99 for restart vs Mvedsua, both pause lengths, per-cell SLO
+    availability in per-mille, and the contrast-check tally.
+    """
+    # Imported lazily: the scenario pulls in the full server stack.
+    from repro.workloads.openloop_scenarios import run_openloop_scenario
+
+    quick = ops < 2400
+
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        report = run_openloop_scenario("kvstore", seed=1, quick=quick)
+        cells = {row["cell"]: row for row in report["cells"]}
+        contrast = report["contrast"]
+        restart = cells["restart-open"]
+        mvedsua = cells["mvedsua-open"]
+        extras = {
+            "offered_rps": restart["offered_rps"],
+            "achieved_rps_restart": restart["achieved_rps"],
+            "achieved_rps_mvedsua": mvedsua["achieved_rps"],
+            "window_p99_restart_ns": restart["window_p99_ns"],
+            "window_p99_mvedsua_ns": mvedsua["window_p99_ns"],
+            "p999_restart_open_ns": restart["p999_ns"],
+            "p999_mvedsua_open_ns": mvedsua["p999_ns"],
+            "pause_restart_ns": contrast["restart_pause_ns"],
+            "pause_mvedsua_ns": contrast["mvedsua_pause_ns"],
+            "slo_availability_restart_permille":
+                int(round(1000 * restart["slo_availability"])),
+            "slo_availability_mvedsua_permille":
+                int(round(1000 * mvedsua["slo_availability"])),
+            "contrast_checks_ok":
+                sum(1 for check in report["checks"] if check["ok"]),
+        }
+        vrequests = sum(row["requests"] for row in report["cells"])
+        return vrequests, 0, extras
+    return thunk
+
+
+# ---------------------------------------------------------------------------
 # Stream scenarios: the rule engine in isolation
 # ---------------------------------------------------------------------------
 
@@ -490,4 +543,8 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
              "chaos campaign grid serial vs 8 workers (measured "
              "speedup + report byte-identity)",
              build_chaos_campaign_parallel, default_ops=211),
+    Scenario("openloop-upgrade-waves",
+             "open-loop kvstore workload through restart vs Mvedsua "
+             "upgrade waves (coordinated-omission gauges)",
+             build_openloop_upgrade_waves, default_ops=2400),
 )}

@@ -6,8 +6,18 @@
   key-value benchmark (90% GET / 10% SET) used for Redis and Memcached.
 * :mod:`repro.workloads.ftpbench` — the paper's custom Vsftpd benchmark:
   log in, repeatedly RETR one file.
+* :mod:`repro.workloads.keyspace` — shared key-popularity
+  distributions (uniform + Zipf) every generator samples from.
+* :mod:`repro.workloads.arrivals` — open-loop arrival processes
+  (Poisson + bursty MMPP) over deterministic rng streams.
+* :mod:`repro.workloads.pool` — the flyweight client pool: millions of
+  logical clients in O(connections) memory.
+* :mod:`repro.workloads.openloop` — the ``LoadSpec`` DSL + open-loop
+  generator; scenarios and CLI in ``openloop_scenarios`` /
+  ``openloop_cli`` (see ``docs/workloads.md``).
 """
 
 from repro.workloads.client import VirtualClient
+from repro.workloads.openloop import LoadSpec, OpenLoopGenerator
 
-__all__ = ["VirtualClient"]
+__all__ = ["VirtualClient", "LoadSpec", "OpenLoopGenerator"]

@@ -1,0 +1,144 @@
+"""Open-loop arrival processes over deterministic RNG streams.
+
+An *open-loop* load generator decides when requests arrive from the
+arrival process alone — a slow server does not slow the offered load
+down, it just grows the queue.  This module provides the two processes
+the ``LoadSpec`` DSL names:
+
+* :class:`PoissonArrivals` — exponential inter-arrival gaps at a fixed
+  mean rate; the memoryless baseline every queueing result assumes.
+* :class:`MmppArrivals` — a two-state Markov-modulated Poisson process:
+  calm periods at the base rate punctuated by exponentially-dwelling
+  bursts at a higher rate.  Real front-end traffic is bursty, and bursts
+  landing on a DSU pause are exactly the tail the paper's pause-masking
+  claim is about.
+
+All draws come from a caller-supplied ``random.Random`` (one
+:meth:`repro.sim.rng.RngStreams.stream` per generator), gaps are floored
+at 1 ns, and times are integers — so every stream is bit-reproducible
+per seed and arrival times are strictly increasing (the property tests
+in ``tests/test_openloop.py`` pin determinism, monotonicity, and the
+empirical rate).
+
+``build_arrivals`` constructs either process from the DSL's ``arrival``
+mapping; ``arrival_problems`` validates the mapping statically for the
+MVE10xx workload lint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping
+
+from repro.sim.engine import MILLISECOND, SECOND
+
+#: The closed process vocabulary (MVE1001 checks against this).
+ARRIVAL_PROCESSES = ("poisson", "mmpp")
+
+
+def _gap_ns(rng, rate_per_sec: float) -> int:
+    """One exponential inter-arrival gap, floored to 1 ns."""
+    return max(1, round(rng.expovariate(1.0) * (SECOND / rate_per_sec)))
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_per_sec`` mean requests/second."""
+
+    __slots__ = ("rate_per_sec",)
+
+    def __init__(self, rate_per_sec: float) -> None:
+        self.rate_per_sec = rate_per_sec
+
+    def times(self, rng, count: int, start_ns: int = 0) -> Iterator[int]:
+        """``count`` strictly increasing arrival timestamps."""
+        t = start_ns
+        for _ in range(count):
+            t += _gap_ns(rng, self.rate_per_sec)
+            yield t
+
+    def as_dict(self) -> Mapping[str, Any]:
+        return {"process": "poisson", "rate_per_sec": self.rate_per_sec}
+
+
+class MmppArrivals:
+    """Two-state MMPP: calm at ``rate_per_sec``, bursts at
+    ``burst_rate_per_sec``, with exponential dwell times in each state.
+
+    State switches are sampled at arrival instants — a deliberate
+    simplification (a switch cannot pre-empt a gap in progress) that
+    keeps the stream a pure function of the rng sequence.
+    """
+
+    __slots__ = ("rate_per_sec", "burst_rate_per_sec", "dwell_ns",
+                 "burst_dwell_ns")
+
+    def __init__(self, rate_per_sec: float, burst_rate_per_sec: float,
+                 dwell_ns: int = 40 * MILLISECOND,
+                 burst_dwell_ns: int = 10 * MILLISECOND) -> None:
+        self.rate_per_sec = rate_per_sec
+        self.burst_rate_per_sec = burst_rate_per_sec
+        self.dwell_ns = dwell_ns
+        self.burst_dwell_ns = burst_dwell_ns
+
+    def times(self, rng, count: int, start_ns: int = 0) -> Iterator[int]:
+        """``count`` strictly increasing arrival timestamps."""
+        t = start_ns
+        bursting = False
+        state_until = start_ns + max(
+            1, round(rng.expovariate(1.0) * self.dwell_ns))
+        for _ in range(count):
+            if t >= state_until:
+                bursting = not bursting
+                dwell = self.burst_dwell_ns if bursting else self.dwell_ns
+                state_until = t + max(1, round(rng.expovariate(1.0)
+                                               * dwell))
+            rate = (self.burst_rate_per_sec if bursting
+                    else self.rate_per_sec)
+            t += _gap_ns(rng, rate)
+            yield t
+
+    def as_dict(self) -> Mapping[str, Any]:
+        return {"process": "mmpp", "rate_per_sec": self.rate_per_sec,
+                "burst_rate_per_sec": self.burst_rate_per_sec,
+                "dwell_ns": self.dwell_ns,
+                "burst_dwell_ns": self.burst_dwell_ns}
+
+
+def arrival_problems(payload: Mapping[str, Any]) -> List[str]:
+    """Validation problems with an ``arrival`` DSL mapping (empty = OK)."""
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"arrival is {payload!r}, expected a mapping"]
+    process = payload.get("process")
+    if process not in ARRIVAL_PROCESSES:
+        problems.append(
+            f"unknown arrival process {process!r} "
+            f"(known: {', '.join(ARRIVAL_PROCESSES)})")
+    rate_keys = ["rate_per_sec"]
+    if process == "mmpp":
+        rate_keys.append("burst_rate_per_sec")
+    for key in rate_keys:
+        rate = payload.get(key)
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            problems.append(f"{key} is {rate!r}, expected a positive "
+                            f"number")
+    if process == "mmpp":
+        for key in ("dwell_ns", "burst_dwell_ns"):
+            dwell = payload.get(key, 1)
+            if not isinstance(dwell, int) or dwell < 1:
+                problems.append(f"{key} is {dwell!r}, expected a "
+                                f"positive int")
+    return problems
+
+
+def build_arrivals(payload: Mapping[str, Any]):
+    """Build the process an ``arrival`` DSL mapping describes."""
+    problems = arrival_problems(payload)
+    if problems:
+        raise ValueError("unusable arrival process: "
+                         + "; ".join(problems))
+    if payload["process"] == "poisson":
+        return PoissonArrivals(payload["rate_per_sec"])
+    return MmppArrivals(
+        payload["rate_per_sec"], payload["burst_rate_per_sec"],
+        payload.get("dwell_ns", 40 * MILLISECOND),
+        payload.get("burst_dwell_ns", 10 * MILLISECOND))

@@ -20,6 +20,7 @@ from typing import Iterator, List
 
 from repro.sim.engine import SECOND
 from repro.sim.rng import RngStreams
+from repro.workloads.keyspace import UniformKeys
 
 
 @dataclass(frozen=True)
@@ -49,9 +50,13 @@ class MemtierSpec:
         or ``"memcached"`` text commands (with data blocks).
         """
         rng = RngStreams(seed).stream("memtier")
+        # UniformKeys.sample is one randrange(keyspace) draw — the same
+        # rng consumption as always, so command streams stay
+        # byte-identical per seed (pinned in tests/test_workloads.py).
+        keys = UniformKeys(self.keyspace)
         value = "v" * self.value_size
         for _ in range(count):
-            key = f"memtier-{rng.randrange(self.keyspace)}"
+            key = f"memtier-{keys.sample(rng)}"
             is_read = rng.random() < self.read_fraction
             if protocol == "redis":
                 if is_read:

@@ -1,0 +1,141 @@
+"""The ``python -m repro openloop`` entry point.
+
+    python -m repro openloop kvstore            # run + OPENLOOP_kvstore.json
+    python -m repro openloop kvstore --quick    # smaller workload (CI smoke)
+    python -m repro openloop redis --workers 3  # byte-identical to serial
+    python -m repro openloop kvstore --check    # gate on repro-openloop/1
+    python -m repro openloop kvstore --slo      # embed a repro-slo/1 section
+
+Runs one open-loop scenario (see
+:mod:`repro.workloads.openloop_scenarios`): the identical arrival
+stream served native, under MVE, under a Kitsune-style restart update,
+and under the full Mvedsua wave — open- and closed-loop — and writes
+the ``repro-openloop/1`` report with per-cell offered/achieved
+throughput, p50/p99/p999, upgrade-window percentiles, and the
+coordinated-omission contrast checks.  The schema is documented in
+``docs/workloads.md``.
+
+Exit codes: 0 on success (a failed contrast check is a *finding*,
+reported in the table, not an error), 1 when ``--check`` finds schema
+problems or the scenario's spec is malformed, 2 on unknown scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Iterable, Optional
+
+from repro.bench.reporting import format_table
+from repro.workloads.openloop_scenarios import (
+    OPENLOOP_SCHEMA,
+    OPENLOOP_SPECS,
+    run_openloop_scenario,
+    scenario_spec,
+    validate_openloop_report,
+)
+from repro.replay.parallel import resolve_workers
+
+
+def openloop_main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro openloop",
+        description="Drive an open-loop (coordinated-omission-free) "
+                    "workload through native, MVE, restart-DSU, and "
+                    "Mvedsua upgrade waves and write a repro-openloop/1 "
+                    "report.")
+    parser.add_argument("scenario", choices=sorted(OPENLOOP_SPECS),
+                        help="which open-loop scenario to run")
+    parser.add_argument("--out", metavar="PATH",
+                        help="report output path "
+                             "(default: OPENLOOP_<scenario>.json)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload seed (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run a reduced workload (CI smoke)")
+    parser.add_argument("--workers", default="1", metavar="N",
+                        help="worker processes ('auto' = one per CPU); "
+                             "the report is byte-identical at any count")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the report against "
+                             "repro-openloop/1; non-zero exit on "
+                             "problems")
+    parser.add_argument("--slo", action="store_true",
+                        help="also embed a full repro-slo/1 section "
+                             "under the report's 'slo_report' key")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    spec = scenario_spec(args.scenario, args.quick)
+    spec_problems = spec.problems()
+    if spec_problems:
+        for problem in spec_problems:
+            print(f"load spec problem: {problem}")
+        return 1
+
+    workers = resolve_workers(args.workers)
+    report = run_openloop_scenario(args.scenario, seed=args.seed,
+                                   quick=args.quick, workers=workers)
+    if args.slo:
+        from repro.obs.slo import build_slo_report
+        from repro.workloads.openloop_scenarios import collect_slo_cells
+        _, slo_spec = OPENLOOP_SPECS[args.scenario]
+        cells = collect_slo_cells(args.scenario, args.seed, args.quick)
+        report["slo_report"] = build_slo_report(
+            args.scenario, args.seed, slo_spec, cells)
+
+    out = args.out or f"OPENLOOP_{args.scenario}.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+    total = sum(row["requests"] for row in report["cells"])
+    print(f"repro openloop {args.scenario}: {total} requests over "
+          f"{len(report['cells'])} cells -> {out}")
+    print(render_report(report))
+
+    if args.slo:
+        from repro.obs.slo_cli import render_report as render_slo
+        slo = report["slo_report"]
+        print()
+        print(f"slo ({slo['spec']['name']}): {slo['requests']} "
+              f"requests, {slo['violating_requests']} over budget")
+        print(render_slo(slo))
+
+    if args.check:
+        problems = validate_openloop_report(report)
+        if args.slo:
+            from repro.obs.slo import validate_slo_report
+            problems += [f"slo_report: {p}" for p in
+                         validate_slo_report(report["slo_report"])]
+        if problems:
+            for problem in problems:
+                print(f"schema problem: {problem}")
+            return 1
+        print(f"schema ok: {out} is valid {OPENLOOP_SCHEMA}")
+    return 0
+
+
+def render_report(report: dict) -> str:
+    """Human-readable tables for a repro-openloop/1 report."""
+    sections = []
+    sections.append(format_table(
+        ["cell", "offered rps", "achieved rps", "p50 (ns)", "p99 (ns)",
+         "p999 (ns)", "pause (ns)", "slo avail"],
+        [[row["cell"], row["offered_rps"], row["achieved_rps"],
+          row["p50_ns"], row["p99_ns"], row["p999_ns"], row["pause_ns"],
+          f"{row['slo_availability']:.4f}"]
+         for row in report["cells"]]))
+    contrast = report["contrast"]
+    sections.append(format_table(
+        ["contrast", "value (ns)"],
+        [[key, value] for key, value in contrast.items()]))
+    sections.append(format_table(
+        ["check", "status"],
+        [[check["check"], "ok" if check["ok"] else "VIOLATED"]
+         for check in report["checks"]]))
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(openloop_main())

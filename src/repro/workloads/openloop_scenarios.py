@@ -1,0 +1,535 @@
+"""Open-loop scenario cells for ``python -m repro openloop``.
+
+Each scenario (kvstore, redis) drives one *identical* open-loop arrival
+stream — same seed, same rng stream name, so the same logical clients
+ask for the same keys at the same instants — through five serving
+configurations:
+
+====================  ====================================================
+cell                  what serves the traffic
+====================  ====================================================
+``native-open``       plain server, no update: the steady-state floor
+``mve-open``          Varan leader + identical follower, no update
+``restart-open``      Kitsune-only DSU mid-run: quiesce + transform
+                      *block service*; open-loop arrivals queue behind
+                      the pause and eat the full delay
+``restart-closed``    the same update, but requests issue closed-loop
+                      (next send waits for the previous completion) —
+                      the coordinated-omission baseline that politely
+                      waits the pause out
+``mvedsua-open``      the full Mvedsua wave (request_update → promote →
+                      finalize): the leader pays only the fork pause
+                      while the transform runs on the follower
+``mvedsua-closed``    the same wave, closed-loop
+====================  ====================================================
+
+The headline contrast the ISSUE names falls out of the table: under the
+identical upgrade wave, ``restart-closed`` p99 *understates*
+``restart-open`` p99 (the pause hits every queued arrival, but the
+closed loop only ever has ``connections`` requests in flight), while
+``mvedsua-open`` stays within the SLO budget because the 15 ms fork
+pause is the only in-band stall.  The scenario preloads the store so
+the state transform is expensive (entries × 5 µs) the way a warmed
+production heap is — that is what makes restart-style DSU pause for
+tens of milliseconds while Mvedsua does not.
+
+Cells run under a spans-enabled tracer and reduce to picklable
+summaries (exact latency→count dicts), so ``run_openloop_scenario``
+shards cells across workers exactly like the SLO/chaos runners and the
+``repro-openloop/1`` report is byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.obs.slo import SloSpec, collect_cell
+from repro.obs.trace import Tracer, tracing
+from repro.replay.parallel import run_sharded, shard_round_robin
+from repro.workloads.openloop import (LoadSpec, OpenLoopGenerator,
+                                      format_request)
+
+#: Report schema identifier (bump on shape changes).
+OPENLOOP_SCHEMA = "repro-openloop/1"
+
+#: Heap entries preloaded before the wave: the transform pause is
+#: entries × xform_entry_ns (5 µs), so 12k entries make a Kitsune
+#: restart block for ~62 ms (quiesce included) against Mvedsua's fixed
+#: 15 ms fork pause.  --quick keeps the same shape at a quarter scale.
+PRELOAD_ENTRIES = 12_000
+PRELOAD_ENTRIES_QUICK = 6_000
+
+#: Latency budgets: p50 covers steady-state service (tens of µs), the
+#: 20 ms p99 budget sits between the Mvedsua fork pause (~15 ms) and
+#: the restart pause (~62 ms) so exactly one of them breaches it.
+OPENLOOP_SPECS: Dict[str, Tuple[LoadSpec, SloSpec]] = {
+    "kvstore": (
+        LoadSpec(name="kvstore-openloop", population=1_000_000,
+                 connections=16,
+                 arrival={"process": "poisson", "rate_per_sec": 4000.0},
+                 keys={"distribution": "zipf", "keyspace": 50_000,
+                       "exponent": 1.1},
+                 read_fraction=0.9, value_size=16, session_requests=40,
+                 reconnect_ns=500_000, requests=2400),
+        SloSpec("kvstore-openloop", p50_ns=1_000_000,
+                p99_ns=20_000_000, p999_ns=80_000_000,
+                availability=0.99)),
+    "redis": (
+        LoadSpec(name="redis-openloop", population=1_000_000,
+                 connections=16,
+                 arrival={"process": "mmpp", "rate_per_sec": 2500.0,
+                          "burst_rate_per_sec": 8000.0},
+                 keys={"distribution": "zipf", "keyspace": 50_000,
+                       "exponent": 1.1},
+                 read_fraction=0.9, value_size=16, session_requests=40,
+                 reconnect_ns=500_000, requests=2000),
+        SloSpec("redis-openloop", p50_ns=1_000_000,
+                p99_ns=20_000_000, p999_ns=80_000_000,
+                availability=0.99)),
+}
+
+#: (cell name, mode, loop) in report order.
+CELLS: List[Tuple[str, str, str]] = [
+    ("native-open", "native", "open"),
+    ("mve-open", "mve", "open"),
+    ("restart-open", "restart", "open"),
+    ("restart-closed", "restart", "closed"),
+    ("mvedsua-open", "mvedsua", "open"),
+    ("mvedsua-closed", "mvedsua", "closed"),
+]
+
+
+def scenario_spec(scenario: str, quick: bool) -> LoadSpec:
+    """The scenario's LoadSpec, scaled down under ``--quick``."""
+    spec, _ = OPENLOOP_SPECS[scenario]
+    if not quick:
+        return spec
+    # A quarter of the traffic over fewer slots: the closed-loop cells
+    # must keep their in-flight count below the p99 rank, or the
+    # coordinated-omission contrast drowns in the smaller sample.
+    return LoadSpec.from_dict({**spec.as_dict(),
+                               "requests": spec.requests // 4,
+                               "connections": 4})
+
+
+# ---------------------------------------------------------------------------
+# Per-scenario server stacks
+# ---------------------------------------------------------------------------
+
+def _kvstore_stack(mode: str, preload: int):
+    from repro.dsu.kitsune import Kitsune
+    from repro.net import VirtualKernel
+    from repro.servers.kvstore import (KVStoreServer, KVStoreV1,
+                                       KVStoreV2, kv_rules, kv_transforms)
+    from repro.syscalls.costs import PROFILES
+
+    kernel = VirtualKernel()
+    server = KVStoreServer(KVStoreV1())
+    server.attach(kernel)
+    table = server.program.heap["table"]
+    for index in range(preload):
+        table[f"warm-{index}"] = "w"
+    profile = PROFILES["kvstore"]
+    runtime = _runtime(mode, kernel, server, profile, kv_transforms())
+    upgrade = {"new_version": KVStoreV2(), "rules": kv_rules(),
+               "kitsune": Kitsune(kv_transforms()),
+               "xform_entry_ns": profile.xform_entry_ns or 0}
+    return kernel, server, runtime, upgrade
+
+
+def _redis_stack(mode: str, preload: int):
+    from repro.dsu.kitsune import Kitsune
+    from repro.net import VirtualKernel
+    from repro.servers.redis import (RedisServer, redis_rules,
+                                     redis_transforms, redis_version)
+    from repro.syscalls.costs import PROFILES
+
+    kernel = VirtualKernel()
+    server = RedisServer(redis_version("2.0.0", hmget_bug=False))
+    server.attach(kernel)
+    db = server.program.heap["db"]
+    for index in range(preload):
+        db[f"warm-{index}"] = "w"
+    profile = PROFILES["redis"]
+    runtime = _runtime(mode, kernel, server, profile, redis_transforms())
+    upgrade = {"new_version": redis_version("2.0.1", hmget_bug=False),
+               "rules": redis_rules("2.0.0", "2.0.1"),
+               "kitsune": Kitsune(redis_transforms()),
+               "xform_entry_ns": profile.xform_entry_ns or 0}
+    return kernel, server, runtime, upgrade
+
+
+def _runtime(mode: str, kernel, server, profile, transforms):
+    if mode in ("native", "restart"):
+        from repro.servers.native import NativeRuntime
+        return NativeRuntime(kernel, server, profile,
+                             with_kitsune=(mode == "restart"))
+    if mode == "mve":
+        from repro.mve import VaranRuntime
+        return VaranRuntime(kernel, server, profile,
+                            ring_capacity=1 << 12)
+    from repro.core import Mvedsua
+    return Mvedsua(kernel, server, profile, transforms=transforms,
+                   ring_capacity=1 << 12)
+
+
+_STACKS = {"kvstore": _kvstore_stack, "redis": _redis_stack}
+
+_PROTOCOLS = {"kvstore": "kvstore", "redis": "redis"}
+
+
+# ---------------------------------------------------------------------------
+# One cell: drive the shared arrival stream through one configuration
+# ---------------------------------------------------------------------------
+
+def run_openloop_cell(scenario: str, cell_index: int, seed: int,
+                      quick: bool) -> Dict[str, Any]:
+    """Run one cell under span tracing; returns a picklable summary."""
+    name, mode, loop = CELLS[cell_index]
+    spec = scenario_spec(scenario, quick)
+    _, slo_spec = OPENLOOP_SPECS[scenario]
+    preload = PRELOAD_ENTRIES_QUICK if quick else PRELOAD_ENTRIES
+
+    tracer = Tracer(experiment=f"openloop-{scenario}-{name}", spans=True)
+    with tracing(tracer):
+        kernel, server, runtime, upgrade = _STACKS[scenario](mode, preload)
+        # One stream name per scenario: every cell sees the identical
+        # arrival skeleton, so cells differ only in how they serve it.
+        generator = OpenLoopGenerator(spec, seed,
+                                      stream=f"openloop.{scenario}")
+        events = list(generator.events())
+        summary = _drive(scenario, name, mode, loop, spec, slo_spec,
+                         kernel, server, runtime, upgrade, generator,
+                         events, tracer)
+    return summary
+
+
+def _drive(scenario: str, name: str, mode: str, loop: str,
+           spec: LoadSpec, slo_spec: SloSpec, kernel, server, runtime,
+           upgrade: Dict[str, Any], generator: OpenLoopGenerator,
+           events, tracer) -> Dict[str, Any]:
+    from repro.workloads.client import VirtualClient
+
+    if mode == "mve":
+        runtime.fork_follower(0)
+
+    protocol = _PROTOCOLS[scenario]
+    value = "v" * spec.value_size
+    clients = [VirtualClient(kernel, server.address,
+                             name=f"{name}-c{slot}")
+               for slot in range(spec.connections)]
+    slot_done = [0] * spec.connections
+
+    total = len(events)
+    update_at = events[(total * 2) // 5].at_ns if total else 0
+    promote_at = events[(total * 7) // 10].at_ns if total else 0
+    finalize_at = events[(total * 17) // 20].at_ns if total else 0
+    did_update = did_promote = did_finalize = False
+    pause_ns = 0
+    resume_ns: Optional[int] = None
+
+    values: Dict[str, int] = {}
+    window_values: Dict[str, int] = {}
+    answered = requests = 0
+    last_done = 0
+    first_at = events[0].at_ns if events else 0
+    last_at = events[-1].at_ns if events else 0
+
+    for event in events:
+        at = event.at_ns
+        if mode in ("restart", "mvedsua"):
+            if not did_update and at >= update_at:
+                did_update = True
+                if mode == "restart":
+                    before = max(update_at, runtime.cpu.busy_until)
+                    runtime.apply_update(upgrade["kitsune"],
+                                         upgrade["new_version"],
+                                         update_at)
+                    resume_ns = runtime.cpu.busy_until
+                    pause_ns = resume_ns - before
+                else:
+                    attempt = runtime.request_update(
+                        upgrade["new_version"], update_at,
+                        rules=upgrade["rules"])
+                    if not attempt.ok:  # pragma: no cover - setup
+                        raise RuntimeError(
+                            f"update failed: {attempt.reason}")
+                    # The leader's only in-band stall is the fork pause.
+                    resume_ns = runtime.runtime.leader.cpu.busy_until
+                    pause_ns = resume_ns - update_at
+            if mode == "mvedsua" and did_update:
+                if not did_promote and at >= promote_at:
+                    did_promote = True
+                    runtime.promote(max(at, last_done) + 1)
+                elif did_promote and not did_finalize \
+                        and at >= finalize_at:
+                    did_finalize = True
+                    runtime.finalize(max(at, last_done) + 1)
+
+        send = at if loop == "open" else max(at, slot_done[event.slot])
+        payload = format_request(event, protocol, value)
+        response, done = clients[event.slot].request(runtime, payload,
+                                                     send)
+        if mode == "mve":
+            # Plain Varan does not self-drain (Mvedsua.pump does); keep
+            # the follower caught up so the ring never fabricates
+            # back-pressure the deployment would not have.
+            runtime.drain_follower()
+        slot_done[event.slot] = done
+        last_done = max(last_done, done)
+        requests += 1
+        if response:
+            answered += 1
+        # Open-loop latency counts from the *arrival*, which is the
+        # send instant here; a closed-loop client can only ever measure
+        # from its own (deferred) send — that asymmetry is the
+        # coordinated-omission story this subsystem exists to tell.
+        latency = done - send
+        key = str(latency)
+        values[key] = values.get(key, 0) + 1
+        if did_update and resume_ns is not None \
+                and update_at <= at <= resume_ns:
+            window_values[key] = window_values.get(key, 0) + 1
+
+    if mode == "mvedsua" and did_update and not did_finalize:
+        if not did_promote:  # pragma: no cover - spec floor is higher
+            runtime.promote(last_done + 1)
+        runtime.finalize(last_done + 2)
+
+    pool = generator.pool
+    return {
+        "cell": name, "mode": mode, "loop": loop,
+        "offered": generator.offered, "dropped": generator.dropped,
+        "requests": requests, "answered": answered,
+        "sessions": pool.sessions_started,
+        "reconnects": pool.reconnects,
+        "deferred_sends": pool.deferred_sends,
+        "tracked_objects": pool.tracked_objects(),
+        "population": spec.population,
+        "first_at_ns": first_at, "last_at_ns": last_at,
+        "last_done_ns": last_done,
+        "update_at_ns": update_at if did_update else None,
+        "resume_ns": resume_ns, "pause_ns": pause_ns,
+        "values": values, "window_values": window_values,
+        "slo_cell": collect_cell(tracer.spans, name, slo_spec),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Report assembly (lossless value-dict merge, byte-identical per seed)
+# ---------------------------------------------------------------------------
+
+def _histogram(values: Dict[str, int], name: str) -> Histogram:
+    histogram = Histogram(name)
+    for key, count in values.items():
+        value = int(key)
+        histogram.count += count
+        histogram.total += value * count
+        histogram.counts[value] = histogram.counts.get(value, 0) + count
+        if histogram.min_value is None or value < histogram.min_value:
+            histogram.min_value = value
+        if histogram.max_value is None or value > histogram.max_value:
+            histogram.max_value = value
+    return histogram
+
+
+def _rate_per_sec(count: int, span_ns: int) -> int:
+    if span_ns <= 0:
+        return 0
+    return round(count * 1_000_000_000 / span_ns)
+
+
+def _cell_row(summary: Dict[str, Any],
+              slo_spec: SloSpec) -> Dict[str, Any]:
+    histogram = _histogram(summary["values"], "latency")
+    window = _histogram(summary["window_values"], "latency.window")
+    offered_span = summary["last_at_ns"] - summary["first_at_ns"]
+    achieved_span = summary["last_done_ns"] - summary["first_at_ns"]
+    budget = slo_spec.p99_ns or 0
+    within = sum(count for key, count in summary["values"].items()
+                 if int(key) <= budget)
+    return {
+        "cell": summary["cell"], "mode": summary["mode"],
+        "loop": summary["loop"],
+        "offered": summary["offered"], "dropped": summary["dropped"],
+        "requests": summary["requests"],
+        "answered": summary["answered"],
+        "sessions": summary["sessions"],
+        "reconnects": summary["reconnects"],
+        "deferred_sends": summary["deferred_sends"],
+        "tracked_objects": summary["tracked_objects"],
+        "population": summary["population"],
+        "offered_rps": _rate_per_sec(summary["requests"], offered_span),
+        "achieved_rps": _rate_per_sec(summary["requests"],
+                                      achieved_span),
+        "p50_ns": histogram.quantile(0.50),
+        "p99_ns": histogram.quantile(0.99),
+        "p999_ns": histogram.quantile(0.999),
+        "max_ns": histogram.max_value,
+        "pause_ns": summary["pause_ns"],
+        "window_requests": window.count,
+        "window_p99_ns": window.quantile(0.99),
+        "slo_availability": (round(within / summary["requests"], 4)
+                             if summary["requests"] else 1.0),
+        "violations": len(summary["slo_cell"]["violations"]),
+    }
+
+
+def build_openloop_report(scenario: str, seed: int, quick: bool,
+                          summaries: List[Dict[str, Any]]
+                          ) -> Dict[str, Any]:
+    """Assemble the ``repro-openloop/1`` report from cell summaries."""
+    spec = scenario_spec(scenario, quick)
+    _, slo_spec = OPENLOOP_SPECS[scenario]
+    rows = [_cell_row(summary, slo_spec) for summary in summaries]
+    by_cell = {row["cell"]: row for row in rows}
+
+    budget = slo_spec.p99_ns or 0
+    restart_open = by_cell["restart-open"]
+    restart_closed = by_cell["restart-closed"]
+    mvedsua_open = by_cell["mvedsua-open"]
+    contrast = {
+        "budget_p99_ns": budget,
+        "restart_open_p99_ns": restart_open["p99_ns"],
+        "restart_closed_p99_ns": restart_closed["p99_ns"],
+        "mvedsua_open_p99_ns": mvedsua_open["p99_ns"],
+        "mvedsua_closed_p99_ns": by_cell["mvedsua-closed"]["p99_ns"],
+        "restart_pause_ns": restart_open["pause_ns"],
+        "mvedsua_pause_ns": mvedsua_open["pause_ns"],
+    }
+    checks = [
+        # The coordinated-omission demonstration: the same restart wave
+        # looks far worse under open-loop arrivals than to the polite
+        # closed-loop clients.
+        {"check": "closed-loop-understates-restart-p99",
+         "ok": restart_open["p99_ns"] > restart_closed["p99_ns"]},
+        {"check": "restart-breaches-p99-budget",
+         "ok": restart_open["p99_ns"] > budget},
+        {"check": "mvedsua-within-p99-budget",
+         "ok": mvedsua_open["p99_ns"] <= budget},
+        {"check": "availability",
+         "ok": all((row["answered"] / row["requests"]
+                    if row["requests"] else 1.0)
+                   >= (slo_spec.availability or 0.0)
+                   for row in rows)},
+        {"check": "no-dropped-arrivals",
+         "ok": all(row["dropped"] == 0 for row in rows)},
+    ]
+    return {
+        "schema": OPENLOOP_SCHEMA,
+        "scenario": scenario,
+        "seed": seed,
+        "quick": quick,
+        "spec": spec.as_dict(),
+        "slo": slo_spec.as_dict(),
+        "cells": rows,
+        "contrast": contrast,
+        "checks": checks,
+        "ok": all(check["ok"] for check in checks),
+    }
+
+
+def validate_openloop_report(report: Dict[str, Any]) -> List[str]:
+    """Check a ``repro-openloop/1`` report's shape; returns problems."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object"]
+    if report.get("schema") != OPENLOOP_SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, "
+                        f"expected {OPENLOOP_SCHEMA!r}")
+    for key in ("scenario", "seed", "spec", "slo", "cells", "contrast",
+                "checks", "ok"):
+        if key not in report:
+            problems.append(f"missing key {key!r}")
+    spec_payload = report.get("spec")
+    if isinstance(spec_payload, dict):
+        problems.extend(LoadSpec.from_dict(spec_payload).problems())
+    elif "spec" in report:
+        problems.append(f"spec is {spec_payload!r}, expected an object")
+    slo_payload = report.get("slo")
+    if isinstance(slo_payload, dict):
+        problems.extend(SloSpec.from_dict(slo_payload).problems())
+    elif "slo" in report:
+        problems.append(f"slo is {slo_payload!r}, expected an object")
+    cells = report.get("cells")
+    if isinstance(cells, list):
+        expected = [name for name, _, _ in CELLS]
+        got = [row.get("cell") for row in cells
+               if isinstance(row, dict)]
+        if got != expected:
+            problems.append(f"cells are {got!r}, expected {expected!r}")
+        for row in cells:
+            if not isinstance(row, dict):
+                problems.append("cell row is not an object")
+                continue
+            for key in ("offered", "requests", "answered", "sessions",
+                        "tracked_objects", "pause_ns"):
+                if not isinstance(row.get(key), int) or row[key] < 0:
+                    problems.append(
+                        f"cell {row.get('cell')!r} {key} is "
+                        f"{row.get(key)!r}, expected a non-negative int")
+            if isinstance(row.get("requests"), int) \
+                    and isinstance(row.get("offered"), int) \
+                    and row["requests"] > row["offered"]:
+                problems.append(
+                    f"cell {row.get('cell')!r} completed more requests "
+                    f"than were offered (tampered?)")
+            connections = (report.get("spec") or {}).get("connections")
+            if isinstance(connections, int) \
+                    and isinstance(row.get("tracked_objects"), int) \
+                    and row["tracked_objects"] > connections:
+                problems.append(
+                    f"cell {row.get('cell')!r} tracks "
+                    f"{row['tracked_objects']} objects, more than the "
+                    f"{connections} connection slots — the flyweight "
+                    f"bound is broken")
+    elif "cells" in report:
+        problems.append(f"cells is {cells!r}, expected a list")
+    checks = report.get("checks")
+    if isinstance(checks, list):
+        for index, check in enumerate(checks):
+            if not isinstance(check, dict) \
+                    or not isinstance(check.get("check"), str) \
+                    or not isinstance(check.get("ok"), bool):
+                problems.append(f"checks[{index}] is malformed")
+    elif "checks" in report:
+        problems.append(f"checks is {checks!r}, expected a list")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution (byte-identical at any worker count)
+# ---------------------------------------------------------------------------
+
+def _run_shard(args: Tuple[str, List[int], int, bool]
+               ) -> List[Tuple[int, Dict[str, Any]]]:
+    """Pool worker: run a shard's cells serially, tagged with their
+    original indices so the parent can merge in cell order."""
+    scenario, indices, seed, quick = args
+    return [(index, run_openloop_cell(scenario, index, seed, quick))
+            for index in indices]
+
+
+def run_openloop_scenario(name: str, *, seed: int = 1,
+                          quick: bool = False,
+                          workers: int = 1) -> Dict[str, Any]:
+    """Run every cell of scenario ``name``; returns the report."""
+    if name not in OPENLOOP_SPECS:
+        raise KeyError(f"unknown openloop scenario {name!r} "
+                       f"(have: {', '.join(sorted(OPENLOOP_SPECS))})")
+    shards = shard_round_robin(len(CELLS), workers)
+    shard_args = [(name, indices, seed, quick) for indices in shards]
+    results = run_sharded(_run_shard, shard_args, workers)
+    indexed = [pair for shard in results for pair in shard]
+    indexed.sort(key=lambda pair: pair[0])
+    summaries = [summary for _, summary in indexed]
+    return build_openloop_report(name, seed, quick, summaries)
+
+
+def collect_slo_cells(scenario: str, seed: int,
+                      quick: bool) -> List[Dict[str, Any]]:
+    """Re-run every cell serially and return the raw
+    :func:`~repro.obs.slo.collect_cell` summaries (the ``--slo`` path)."""
+    return [run_openloop_cell(scenario, index, seed, quick)["slo_cell"]
+            for index in range(len(CELLS))]

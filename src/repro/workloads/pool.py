@@ -1,0 +1,95 @@
+"""The flyweight client pool: millions of logical clients, O(slots) state.
+
+A million-client open-loop population cannot be a million Python
+objects.  The pool keeps one record per *physical connection slot* —
+a heap of ``(ready_ns, order, slot)`` plus two parallel arrays — and
+maps every arrival onto a slot on demand:
+
+* each slot serves one *session* at a time: a logical client id drawn
+  from the population, a sampled number of requests, then churn — the
+  session ends, the slot sits out a reconnect delay, and the next
+  session on that slot is a fresh logical client;
+* an arrival is assigned to the slot that frees earliest; if every slot
+  is mid-reconnect the send is *deferred* until one is ready (the
+  arrival-heap of pending sends the tentpole calls for), never dropped.
+
+Total live state is ``connections`` heap entries + two int arrays —
+independent of ``population``, which only parameterises the
+``randrange`` that names each session.  ``peak_tracked_objects()``
+exposes the bound the property tests pin: tracked objects never exceed
+the connection count no matter how large the population is.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+
+class FlyweightPool:
+    """Maps an unbounded logical population onto bounded physical slots."""
+
+    def __init__(self, population: int, connections: int, rng, *,
+                 session_requests: int = 50,
+                 reconnect_ns: int = 1_000_000) -> None:
+        if connections < 1:
+            raise ValueError(f"connections is {connections}, "
+                             f"expected >= 1")
+        if population < connections:
+            raise ValueError(f"population {population} is smaller than "
+                             f"the {connections} concurrent connections")
+        self.population = population
+        self.connections = connections
+        self.session_requests = session_requests
+        self.reconnect_ns = reconnect_ns
+        self._rng = rng
+        #: (ready_ns, order, slot): when each slot can next send.  order
+        #: breaks ties deterministically (heapq is not stable).
+        self._ready: List[Tuple[int, int, int]] = [
+            (0, slot, slot) for slot in range(connections)]
+        self._order = connections
+        self._logical = [0] * connections
+        self._remaining = [0] * connections
+        self.sessions_started = 0
+        self.reconnects = 0
+        self.deferred_sends = 0
+
+    def _session_length(self) -> int:
+        """Requests in one session: exponential, floored at 1."""
+        return max(1, round(self._rng.expovariate(1.0)
+                            * self.session_requests))
+
+    def assign(self, at_ns: int) -> Tuple[int, int, int]:
+        """Assign one arrival at ``at_ns`` to a slot.
+
+        Returns ``(send_ns, slot, logical_id)`` where ``send_ns >=
+        at_ns`` (later only when every slot was mid-reconnect).
+        """
+        ready_ns, _, slot = heapq.heappop(self._ready)
+        send_ns = at_ns
+        if ready_ns > at_ns:
+            send_ns = ready_ns
+            self.deferred_sends += 1
+        if self._remaining[slot] == 0:
+            self._logical[slot] = self._rng.randrange(self.population)
+            self._remaining[slot] = self._session_length()
+            self.sessions_started += 1
+        logical = self._logical[slot]
+        self._remaining[slot] -= 1
+        if self._remaining[slot] == 0:
+            # Session over: the slot churns and reconnects later.
+            self.reconnects += 1
+            next_ready = send_ns + self.reconnect_ns
+        else:
+            next_ready = send_ns
+        heapq.heappush(self._ready, (next_ready, self._order, slot))
+        self._order += 1
+        return send_ns, slot, logical
+
+    def tracked_objects(self) -> int:
+        """Live bookkeeping records — the flyweight memory bound.
+
+        One heap entry and two array cells per connection slot; nothing
+        scales with ``population``.
+        """
+        return len(self._ready)

@@ -27,8 +27,12 @@ from repro.mve.dsl import Direction, RuleSet, parse_rules, rewrite_write
 from tests.fixtures import bad_rules, bad_transforms
 from tests.fixtures.bad_catalog import APP, BadKVVersion
 from tests.fixtures.bad_catalog import catalog as bad_catalog
+from tests.fixtures.bad_workloads import APP as BADLOAD_APP
+from tests.fixtures.bad_workloads import catalog as bad_workloads_catalog
 
 FIXTURE_CATALOG = str(Path(__file__).parent / "fixtures" / "bad_catalog.py")
+FIXTURE_WORKLOADS = str(Path(__file__).parent / "fixtures"
+                        / "bad_workloads.py")
 
 
 def codes(findings):
@@ -494,6 +498,39 @@ class TestCatalogAndCli:
         out = capsys.readouterr().out
         assert "mvelint: analyzed snort" in out
         assert "ok: no blocking findings" in out
+
+
+class TestWorkloadLint:
+    """Satellite: the MVE10xx workload-spec analyzer, pinned against
+    tests/fixtures/bad_workloads.py (one factory per code)."""
+
+    def test_bad_workloads_trip_each_code_exactly_once(self):
+        report = run_app(bad_workloads_catalog()[BADLOAD_APP])
+        assert report.has_errors
+        workload = [f for f in report.findings
+                    if f.analyzer == "workload-lint"]
+        assert sorted(f.code for f in workload) == [
+            "MVE1001", "MVE1002", "MVE1003", "MVE1004", "MVE1005"]
+        assert all(f.severity is Severity.ERROR for f in workload)
+        # Every finding names the app and the offending spec.
+        for finding in workload:
+            assert finding.app == BADLOAD_APP
+            assert BADLOAD_APP in finding.location
+        # The broken specs are the catalog's only defects.
+        assert {f.analyzer for f in report.findings} == {"workload-lint"}
+
+    def test_cli_bad_workloads_exits_nonzero(self, capsys):
+        assert lint_main(["--json", "--catalog", FIXTURE_WORKLOADS]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        found = {f["code"] for f in payload["findings"]}
+        assert {"MVE1001", "MVE1002", "MVE1003",
+                "MVE1004", "MVE1005"} <= found
+
+    def test_default_catalog_specs_are_clean(self):
+        from repro.analysis.workload_lint import lint_workload_specs
+        for name, config in default_catalog().items():
+            assert lint_workload_specs(name, config.workload_specs) == []
 
 
 class TestReportDedupeAndOrdering:

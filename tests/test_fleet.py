@@ -233,6 +233,28 @@ class TestFleetScenario:
         assert any("max_mve_pairs_per_shard" in p for p in problems)
         assert any("exploded" in p for p in problems)
 
+    def test_openloop_traffic_keeps_outcomes_and_tags_report(self):
+        report = run_fleet_scenario(openloop=True)
+        assert [r["outcome"] for r in report["rounds"]] \
+            == ["rolled-back", "completed"]
+        assert report["traffic"] == {
+            "mode": "open-loop", "process": "poisson",
+            "rate_per_sec": 40.0, "key_distribution": "zipf"}
+        assert validate_report(report) == []
+        # The default path must stay byte-identical to the pinned
+        # closed-loop report: no traffic section, different stream.
+        default = run_fleet_scenario()
+        assert "traffic" not in default
+        assert json.dumps(default, sort_keys=True) \
+            != json.dumps(report, sort_keys=True)
+
+    def test_openloop_is_deterministic_per_seed(self):
+        first = json.dumps(run_fleet_scenario(seed=3, openloop=True),
+                           sort_keys=True)
+        second = json.dumps(run_fleet_scenario(seed=3, openloop=True),
+                            sort_keys=True)
+        assert first == second
+
 
 class TestFleetCLI:
     def test_cli_writes_report_and_exits_zero(self, tmp_path, capsys):
@@ -244,6 +266,16 @@ class TestFleetCLI:
         assert payload["schema"] == FLEET_SCHEMA
         out = capsys.readouterr().out
         assert "rolled-back" in out and "completed" in out
+
+    def test_cli_openloop_flag(self, tmp_path, capsys):
+        from repro.cluster.cli import fleet_main
+        path = tmp_path / "FLEET_openloop.json"
+        code = fleet_main(["canary-kvstore", "--openloop",
+                           "--report", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["traffic"]["mode"] == "open-loop"
+        assert "traffic: open-loop" in capsys.readouterr().out
 
 
 class TestFleetLint:

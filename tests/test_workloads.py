@@ -70,6 +70,32 @@ class TestMemtierSpec:
         assert values == sorted(values)
         assert values[0] == 0
 
+    # Golden hashes pin the exact byte stream across the refactor onto
+    # the shared repro.workloads.keyspace sampler: a drift here silently
+    # invalidates every Memtier-calibrated experiment.
+    GOLDEN = {
+        (0, "redis"):
+            "60950f5cacc0a1ea6edbb1b56d8105eb"
+            "02c4c6590667564520f769650ec6d75e",
+        (0, "memcached"):
+            "0467ce2e94229c1680997829867ad2e2"
+            "6e4831886e7f27d8b1b206f91ea486c0",
+        (7, "redis"):
+            "3dda3dcbad0391c11055cb18302db35d"
+            "861984024fd5ab7b8415063c8b57e04b",
+        (7, "memcached"):
+            "347d367bcf4c158b9a9e8ba23520e274"
+            "03b8357df5b33b9994ea45d7ee0f3adf",
+    }
+
+    @pytest.mark.parametrize("seed,protocol", sorted(GOLDEN))
+    def test_command_stream_matches_golden_hash(self, seed, protocol):
+        import hashlib
+        stream = b"".join(
+            MemtierSpec().commands(500, protocol=protocol, seed=seed))
+        digest = hashlib.sha256(stream).hexdigest()
+        assert digest == self.GOLDEN[(seed, protocol)]
+
 
 class TestFtpBenchSpec:
     def test_variants(self):
