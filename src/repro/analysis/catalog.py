@@ -89,6 +89,15 @@ def _kvstore_config() -> AppConfig:
         from repro.cluster.shard import FleetSpec
         return FleetSpec(shards=3, replicas_per_shard=3, wave_size=1)
 
+    def distributed_topology():
+        # The --distributed variant: leader+follower on distinct
+        # nodes, with the link budget MVE704 insists on.
+        from repro.cluster.fleet import DEFAULT_FLEET_LINK
+        from repro.cluster.shard import FleetSpec
+        return FleetSpec(shards=3, replicas_per_shard=3, wave_size=1,
+                         cross_node_pairs=True,
+                         ring_link=DEFAULT_FLEET_LINK)
+
     def openloop_spec():
         # The python -m repro openloop kvstore workload.
         from repro.workloads.openloop_scenarios import OPENLOOP_SPECS
@@ -102,7 +111,7 @@ def _kvstore_config() -> AppConfig:
         seed_requests=(b"PUT alpha one", b"PUT beta two",
                        b"PUT gamma three"),
         fault_plans=(campaign_plan,),
-        fleet_topologies=(canary_topology,),
+        fleet_topologies=(canary_topology, distributed_topology),
         workload_specs=(openloop_spec,),
         allow=(
             # §3.3.2: after promotion the new leader executes commands

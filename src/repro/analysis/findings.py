@@ -69,6 +69,7 @@ RULE_METADATA: Dict[str, str] = {
     "MVE701": "upgrade wave wider than the replication factor",
     "MVE702": "upgrade wave covers every replica of a shard at once",
     "MVE703": "malformed fleet topology (counts below one)",
+    "MVE704": "cross-node MVE pairs without a declared ring-link budget",
     "MVE801": "reachable configuration where versions diverge and no "
               "rule fires",
     "MVE802": "a rule fires on the diverging transition but its effect "

@@ -24,6 +24,11 @@ MVE702 wave width equals the replication factor: legal, but every
        stays behind on the known-good version (WARNING)
 MVE703 malformed topology: a shard count, replication factor, or
        wave width below one (ERROR — the orchestrator refuses it)
+MVE704 cross-node MVE pairs without a link budget: the spec places
+       leader and follower on distinct nodes but declares no
+       :class:`~repro.net.ring_wire.RingLink` (or a malformed one),
+       so the replicated ring has no latency/bandwidth/window costs
+       to charge and no partition budget to demote against (ERROR)
 ====== =============================================================
 """
 
@@ -55,6 +60,9 @@ def lint_fleet_topology(app: str, spec: FleetSpec) -> List[Finding]:
     for advisory in spec.advisories():
         findings.append(Finding("MVE702", Severity.WARNING, ANALYZER,
                                 app, location, advisory))
+    for problem in spec.link_problems():
+        findings.append(Finding("MVE704", Severity.ERROR, ANALYZER,
+                                app, location, problem))
     return findings
 
 

@@ -321,6 +321,53 @@ def emit_openloop(out: io.StringIO) -> None:
               f"inside budget.\n\n")
 
 
+def emit_distring(out: io.StringIO) -> None:
+    from repro.bench.distring import link_label, run_distring_comparison
+    report = run_distring_comparison(seed=1)
+    out.write("## Distributed ring — the MVE pair across a link "
+              "(repro.mve.distring)\n\n")
+    out.write(f"`python -m repro fleet canary-kvstore --distributed` "
+              "crosses each leader-follower ring over a `repro-ring/1` "
+              "link (see docs/distributed.md). The table below isolates "
+              "the cost: the same kvstore update lifecycle "
+              f"({report['commands']} requests, 1 ms apart, ring "
+              f"capacity {report['ring_capacity']}, window "
+              f"{report['window']}) over the in-process ring and over "
+              "links of increasing one-way latency. Follower replay "
+              "starts only when the frame lands, so the bounded "
+              "in-flight window turns link latency into leader-visible "
+              "ring stalls and tail latency.\n\n")
+    out.write("| ring | link latency | ring stalls | p50 | p99 "
+              "| SLO avail (&le; "
+              f"{report['slo_budget_ns'] / 1e6:.0f} ms) |\n"
+              "|---|---|---|---|---|---|\n")
+    for row in report["rows"]:
+        local_row = row["ring"] == "local"
+        label = ("local" if local_row
+                 else f"distributed ({link_label(row['link_latency_ns'])})")
+        latency = ("—" if local_row
+                   else f"{row['link_latency_ns'] / 1e6:,.1f} ms")
+        out.write(f"| {label} | {latency} "
+                  f"| {row['ring_stalls']} "
+                  f"| {row['latency_p50_ns'] / 1e6:,.3f} ms "
+                  f"| {row['latency_p99_ns'] / 1e6:,.2f} ms "
+                  f"| {row['slo_availability']:.4f} |\n")
+    local, fastest, slowest = (report["rows"][0], report["rows"][1],
+                               report["rows"][-1])
+    out.write(f"\nA {fastest['link_latency_ns'] / 1e3:.0f} µs link is "
+              "free — stall count aside, its row matches the local "
+              "ring exactly — while "
+              f"{slowest['link_latency_ns'] / 1e6:.0f} ms of one-way "
+              f"latency drives {slowest['ring_stalls']} stalls "
+              f"(vs {local['ring_stalls']} locally) and drops SLO "
+              f"availability from {local['slo_availability']:.4f} to "
+              f"{slowest['slo_availability']:.4f}: past the point where "
+              "ack round-trips dominate the inter-arrival gap, the "
+              "window throttles the leader itself. Every run finalizes "
+              "on 2.0 — distribution moves the latency bill, not the "
+              "update outcome.\n\n")
+
+
 HEADER = """\
 # EXPERIMENTS — paper vs. measured
 
@@ -344,6 +391,7 @@ python -m repro.bench.faults
 python -m repro chaos kvstore                 # fault-injection campaign
 python -m repro slo fig7                      # per-phase SLO accounting
 python -m repro openloop kvstore              # open-loop upgrade waves
+python -m repro fleet canary-kvstore --distributed  # ring across nodes
 ```
 
 """
@@ -364,6 +412,7 @@ def main() -> None:
     emit_fleet(out)
     emit_slo(out)
     emit_openloop(out)
+    emit_distring(out)
     print(out.getvalue())
 
 

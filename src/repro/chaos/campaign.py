@@ -54,6 +54,22 @@ OUTCOMES = ("masked", "recovered-demotion", "recovered-rollback",
 #: grid, so a chattier scenario cannot explode the sweep.
 ONCALL_CAP = 24
 
+#: The scenarios the campaign can sweep.  ``kvstore-distributed`` is
+#: the same lifecycle with the MVE pair's ring crossing
+#: :data:`~repro.chaos.scenarios.CHAOS_RING_LINK`, which makes the
+#: ``fleet.ring`` partition site reachable (the local scenario never
+#: fires it, so the pinned local grid is unchanged).
+CAMPAIGN_SCENARIOS = ("kvstore", "kvstore-distributed")
+
+
+def scenario_runner(scenario: str):
+    """The zero-argument runner for one campaign scenario."""
+    if scenario == "kvstore":
+        return run_kv_update_scenario
+    if scenario == "kvstore-distributed":
+        return lambda: run_kv_update_scenario(distributed=True)
+    raise SimulationError(f"unknown chaos scenario: {scenario!r}")
+
 #: (site, kind) pairs that fire during normal serving — swept again under
 #: ``at-stage`` and ``at-time`` triggers.  The one-shot ``dsu.*`` sites
 #: are excluded: their single call is fully covered by ``on-call``.
@@ -65,6 +81,19 @@ RUNTIME_SITE_KINDS: Tuple[Tuple[str, str], ...] = tuple(
 
 #: Virtual times for the ``at-time`` sweep — one per lifecycle phase.
 AT_TIMES = (2_000_000_000, 6_500_000_000, 11_500_000_000, 16_500_000_000)
+
+
+def _runtime_site_kinds(site_calls: Dict[str, int]) \
+        -> Tuple[Tuple[str, str], ...]:
+    """:data:`RUNTIME_SITE_KINDS` plus the wire site when the probe run
+    actually reached it — distributed scenarios sweep ``fleet.ring``
+    partitions under at-stage/at-time triggers too, while local
+    scenarios keep their pinned grid byte-identical."""
+    kinds = list(RUNTIME_SITE_KINDS)
+    if site_calls.get("fleet.ring", 0) > 0:
+        kinds.extend(("fleet.ring", kind)
+                     for kind in SITES["fleet.ring"])
+    return tuple(kinds)
 
 
 def _param_for(site: str, kind: str, seed: int) -> Dict[str, Any]:
@@ -108,16 +137,18 @@ def default_grid(site_calls: Dict[str, int], seed: int, *,
 
     for site in ("kernel.read", "kernel.write", "kernel.accept",
                  "mve.leader", "mve.follower", "mve.ring",
-                 "dsu.update", "dsu.quiesce", "dsu.transform"):
+                 "dsu.update", "dsu.quiesce", "dsu.transform",
+                 "fleet.ring"):
         calls = min(site_calls.get(site, 0), oncall_cap)
         for kind in SITES[site]:
             for index in range(1, calls + 1):
                 add(site, kind, on_call(index))
+    runtime_kinds = _runtime_site_kinds(site_calls)
     for stage in STAGE_NAMES:
-        for site, kind in RUNTIME_SITE_KINDS:
+        for site, kind in runtime_kinds:
             add(site, kind, at_stage(stage))
     for at_ns in AT_TIMES:
-        for site, kind in RUNTIME_SITE_KINDS:
+        for site, kind in runtime_kinds:
             add(site, kind, at_time(at_ns))
     # Predicate cells: compound conditions no fixed trigger expresses.
     add("kernel.read", "econnreset",
@@ -139,6 +170,15 @@ def default_grid(site_calls: Dict[str, int], seed: int, *,
         when(lambda ctx: ctx["call_index"] == 10
              and ctx["stage"] == "outdated-leader",
              label="10th iteration while outdated"))
+    if site_calls.get("fleet.ring", 0) > 0:
+        # A sustained partition: every frame is dropped, so the
+        # retransmit delay accrues until the link's demote budget
+        # trips — the demotion-on-timeout path end to end.
+        add("fleet.ring", "partition-drop",
+            when(lambda ctx: True, count=-1, label="sustained partition"))
+        add("fleet.ring", "partition-delay",
+            when(lambda ctx: ctx["stage"] == "outdated-leader",
+                 count=-1, label="degraded link during catch-up"))
     return faults
 
 
@@ -184,19 +224,22 @@ def classify(result: ChaosRunResult,
             "recovery event")
 
 
-def probe_site_calls() -> Dict[str, int]:
+def probe_site_calls(scenario: str = "kvstore") -> Dict[str, int]:
     """Per-site call counts from one fault-free instrumented run."""
+    runner = scenario_runner(scenario)
     probe = ChaosInjector(FaultPlan("probe"))
     with chaos_active(probe):
-        run_kv_update_scenario()
+        runner()
     return dict(probe.site_calls)
 
 
-def run_cell(plan: FaultPlan) -> ChaosRunResult:
+def run_cell(plan: FaultPlan,
+             scenario: str = "kvstore") -> ChaosRunResult:
     """Run the scenario once under ``plan``'s injector."""
+    runner = scenario_runner(scenario)
     injector = ChaosInjector(plan)
     with chaos_active(injector):
-        return run_kv_update_scenario()
+        return runner()
 
 
 def cell_entry(name: str, cell_plan: FaultPlan, result: ChaosRunResult,
@@ -241,12 +284,13 @@ def cell_entry(name: str, cell_plan: FaultPlan, result: ChaosRunResult,
 def _run_golden(record: Optional[str] = None,
                 scenario: str = "kvstore") -> ChaosRunResult:
     """The fault-free baseline run, optionally recorded to ``record``."""
+    runner = scenario_runner(scenario)
     if record is None:
-        return run_kv_update_scenario()
+        return runner()
     from repro.replay.recorder import StreamRecorder, recording
     recorder = StreamRecorder(scenario=scenario)
     with recording(recorder):
-        golden = run_kv_update_scenario()
+        golden = runner()
     recorder.write(record)
     return golden
 
@@ -270,7 +314,7 @@ def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
     of the baseline run — or, with ``plan``, of the faulted run itself,
     so the recording carries the plan in force.
     """
-    if scenario != "kvstore":
+    if scenario not in CAMPAIGN_SCENARIOS:
         raise SimulationError(f"unknown chaos scenario: {scenario!r}")
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
@@ -288,13 +332,13 @@ def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
             from repro.replay.recorder import StreamRecorder, recording
             recorder = StreamRecorder(scenario=scenario)
             with recording(recorder):
-                result = run_cell(plan)
+                result = run_cell(plan, scenario)
             recorder.write(record)
         else:
-            result = run_cell(plan)
+            result = run_cell(plan, scenario)
         grid = [cell_entry(plan.name, plan, result, golden)]
     else:
-        site_calls = probe_site_calls()
+        site_calls = probe_site_calls(scenario)
         grid_faults = default_grid(site_calls, seed, oncall_cap=oncall_cap)
         if max_cells is not None:
             grid_faults = grid_faults[:max_cells]
@@ -310,7 +354,8 @@ def run_campaign(scenario: str = "kvstore", *, seed: int = 1,
                 name = fault.describe()
                 cell_plan = FaultPlan(name, (fault,))
                 grid.append(cell_entry(name, cell_plan,
-                                       run_cell(cell_plan), golden))
+                                       run_cell(cell_plan, scenario),
+                                       golden))
 
     tally = {outcome: 0 for outcome in OUTCOMES}
     for entry in grid:

@@ -1,6 +1,7 @@
 """``python -m repro chaos`` — run a fault-injection campaign.
 
     python -m repro chaos kvstore                 # full grid
+    python -m repro chaos kvstore-distributed     # + fleet.ring partitions
     python -m repro chaos kvstore --max-cells 200 # bounded (CI smoke)
     python -m repro chaos kvstore --plan my.py    # one custom plan
     python -m repro chaos kvstore --report out.json
@@ -37,8 +38,12 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro chaos",
         description="Deterministic fault-injection campaigns with "
                     "invariant checking.")
-    parser.add_argument("scenario", choices=["kvstore"],
-                        help="which scenario to sweep")
+    parser.add_argument("scenario",
+                        choices=["kvstore", "kvstore-distributed"],
+                        help="which scenario to sweep "
+                             "(kvstore-distributed crosses the MVE "
+                             "ring over a link, adding fleet.ring "
+                             "partition cells)")
     parser.add_argument("--plan", metavar="PATH",
                         help="run one fault plan (a Python file exposing "
                              "plan()) instead of the generated grid")

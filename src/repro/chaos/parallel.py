@@ -34,16 +34,17 @@ def run_shard(args: ShardArgs) -> List[Tuple[int, Dict[str, Any]]]:
     the worker function by qualified name.
     """
     scenario, seed, oncall_cap, site_calls, max_cells, indices = args
-    from repro.chaos.campaign import (cell_entry, default_grid, run_cell)
+    from repro.chaos.campaign import (CAMPAIGN_SCENARIOS, cell_entry,
+                                      default_grid, run_cell,
+                                      scenario_runner)
     from repro.chaos.plan import FaultPlan
-    from repro.chaos.scenarios import run_kv_update_scenario
-    if scenario != "kvstore":
+    if scenario not in CAMPAIGN_SCENARIOS:
         # run_campaign validates the scenario before sharding; this
-        # guard makes any future second scenario fail loudly here
+        # guard makes any future extra scenario fail loudly here
         # instead of silently running the kvstore workload for it.
-        raise ValueError(f"run_shard only knows the 'kvstore' scenario, "
-                         f"got {scenario!r}")
-    golden = run_kv_update_scenario()
+        raise ValueError(f"run_shard does not know scenario "
+                         f"{scenario!r} (known: {CAMPAIGN_SCENARIOS})")
+    golden = scenario_runner(scenario)()
     grid_faults = default_grid(site_calls, seed, oncall_cap=oncall_cap)
     if max_cells is not None:
         grid_faults = grid_faults[:max_cells]
@@ -52,7 +53,8 @@ def run_shard(args: ShardArgs) -> List[Tuple[int, Dict[str, Any]]]:
         fault = grid_faults[index]
         name = fault.describe()
         plan = FaultPlan(name, (fault,))
-        out.append((index, cell_entry(name, plan, run_cell(plan), golden)))
+        out.append((index, cell_entry(name, plan,
+                                      run_cell(plan, scenario), golden)))
     return out
 
 

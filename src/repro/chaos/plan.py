@@ -58,6 +58,11 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "fleet.replica": ("crash",),
     "fleet.canary": ("divergence",),
     "fleet.balancer": ("partition",),
+    # mve/distring.py — the replicated ring's wire (cross-node pairs);
+    # fires once per repro-ring/1 frame, so only distributed scenarios
+    # ever reach it.
+    "fleet.ring": ("partition-drop", "partition-delay",
+                   "partition-reorder"),
     # workloads/openloop.py — the open-loop arrival stream.
     "openloop.arrival": ("burst", "drop"),
 }

@@ -22,6 +22,7 @@ from repro.chaos.invariants import ClientObservation
 from repro.core import Mvedsua, Stage
 from repro.errors import KernelError, ServerCrash
 from repro.net.kernel import VirtualKernel
+from repro.net.ring_wire import RingLink
 from repro.servers.kvstore import (KVStoreServer, KVStoreV1, KVStoreV2,
                                    kv_rules_from_dsl, kv_transforms)
 from repro.sim.engine import SECOND
@@ -36,6 +37,15 @@ RING_CAPACITY = 32
 UPDATE_AT = 5 * SECOND
 PROMOTE_AT = 10 * SECOND
 FINALIZE_AT = 15 * SECOND
+
+#: The link the ``kvstore-distributed`` scenario crosses: a small
+#: window so frames queue under load, and a partition budget a
+#: sustained drop fault (40 ms retransmit per frame) exhausts within
+#: the catch-up phase — which is what makes demotion-on-timeout a
+#: reachable campaign outcome.
+CHAOS_RING_LINK = RingLink(latency_ns=200_000, window=4,
+                           demote_timeout_ns=250_000_000,
+                           retransmit_ns=40_000_000)
 
 #: The client script: (client, command, at).  Version-neutral commands
 #: only; c2 connects mid-run (just before its first command) so accept
@@ -133,9 +143,15 @@ def _semantic_table(server: Any) -> Dict[str, str]:
     return out
 
 
-def run_kv_update_scenario() -> ChaosRunResult:
+def run_kv_update_scenario(distributed: bool = False) -> ChaosRunResult:
     """One full kvstore update lifecycle under whatever chaos injector
-    is currently installed (or none — the golden baseline)."""
+    is currently installed (or none — the golden baseline).
+
+    ``distributed=True`` is the ``kvstore-distributed`` campaign
+    scenario: the same lifecycle, but the MVE pair's ring crosses
+    :data:`CHAOS_RING_LINK` as ``repro-ring/1`` frames — which is what
+    makes the ``fleet.ring`` partition site reachable.
+    """
     kernel = VirtualKernel()
     server = KVStoreServer(KVStoreV1())
     server.attach(kernel)
@@ -146,7 +162,8 @@ def run_kv_update_scenario() -> ChaosRunResult:
             chaos.tracer = kernel.tracer
     mvedsua = Mvedsua(kernel, server, PROFILES["kvstore"],
                       transforms=kv_transforms(),
-                      ring_capacity=RING_CAPACITY)
+                      ring_capacity=RING_CAPACITY,
+                      ring_link=CHAOS_RING_LINK if distributed else None)
     result = ChaosRunResult()
     clients: Dict[str, VirtualClient] = {}
     dead: set = set()

@@ -25,6 +25,12 @@ availability column switches to *achieved* accounting: the denominator
 is every request offered (sent) during the round window, and only
 requests that actually completed with an answer count as available —
 a request stalled behind an upgrade pause is not.
+
+``--distributed`` houses each MVE follower on the shard's next replica
+node (see ``docs/distributed.md``): every pair's ring crosses a
+declared link as ``repro-ring/1`` frames, and the report grows a
+``distring`` section (link budget, pair placement, wire telemetry).
+Without the flag the report is byte-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -65,6 +71,12 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
                              "with --slo, round availability counts "
                              "achieved completions, not offered "
                              "requests")
+    parser.add_argument("--distributed", action="store_true",
+                        help="house each MVE follower on the shard's "
+                             "next replica node: the pair's ring "
+                             "crosses a declared link as repro-ring/1 "
+                             "frames, and the report grows a "
+                             "'distring' wire-telemetry section")
     args = parser.parse_args(argv)
 
     collector = None
@@ -78,7 +90,8 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
             report = run_fleet_scenario(args.scenario, args.seed,
                                         shards=args.shards,
                                         replicas=args.replicas,
-                                        openloop=args.openloop)
+                                        openloop=args.openloop,
+                                        distributed=args.distributed)
         collector = tracer.spans
         cell = collect_cell(collector, args.scenario, spec)
         report["slo"] = build_slo_report(args.scenario, args.seed,
@@ -87,7 +100,8 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
         report = run_fleet_scenario(args.scenario, args.seed,
                                     shards=args.shards,
                                     replicas=args.replicas,
-                                    openloop=args.openloop)
+                                    openloop=args.openloop,
+                                    distributed=args.distributed)
 
     topology = report["topology"]
     print(f"fleet scenario: {args.scenario} "
@@ -99,6 +113,11 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"traffic: open-loop ({traffic['process']} "
               f"@ {traffic['rate_per_sec']:g}/s, "
               f"{traffic['key_distribution']} keys)")
+    if args.distributed:
+        link = report["distring"]["link"]
+        print(f"ring: distributed (follower on next replica, "
+              f"{link['latency_ns']} ns one-way, window "
+              f"{link['window']})")
     print()
     headers = ["round", "outcome", "updated", "demoted"]
     if args.slo:
@@ -122,6 +141,13 @@ def fleet_main(argv: Optional[Sequence[str]] = None) -> int:
           f"{report['max_mve_pairs_per_shard']}  "
           f"rollbacks: {report['rollbacks']}  "
           f"failovers: {report['failovers']}")
+    if args.distributed:
+        wire = report["distring"]["wire"]
+        print(f"wire: {wire['frames_sent']} frames / "
+              f"{wire['bytes_sent']} bytes, inflight high watermark "
+              f"{wire['inflight_high_watermark']}, "
+              f"resyncs {wire['resyncs']}, partition timeouts "
+              f"{wire['partition_timeouts']}")
     violations = report["invariants"]["problems"]
     if violations:
         for violation in violations:

@@ -32,6 +32,7 @@ from repro.cluster.orchestrator import (FleetOrchestrator, NODE_OUTCOMES,
 from repro.cluster.shard import FleetSpec, Shard, ShardMap
 from repro.errors import KernelError, ServerCrash
 from repro.net.kernel import VirtualKernel
+from repro.net.ring_wire import RingLink
 from repro.servers.kvstore import (KVStoreServer, KVStoreV1, KVStoreV2,
                                    kv_rules_from_dsl, kv_transforms)
 from repro.sim.engine import MILLISECOND, SECOND
@@ -50,6 +51,11 @@ PROBE_PREFIX = "__probe"
 #: offers 4x that so upgrade-round pauses actually queue arrivals.
 OPENLOOP_RATE_PER_SEC = 40.0
 
+#: The link budget ``--distributed`` declares for every leader→follower
+#: pair: same-datacenter numbers (0.5 ms one way, 1 GB/s, 8 frames in
+#: flight, 250 ms of tolerated partition delay before demotion).
+DEFAULT_FLEET_LINK = RingLink()
+
 
 def build_kv_fleet(spec: FleetSpec) -> Tuple[VirtualKernel, ShardMap,
                                              FleetBalancer]:
@@ -65,6 +71,7 @@ def build_kv_fleet(spec: FleetSpec) -> Tuple[VirtualKernel, ShardMap,
     if problems:
         raise ValueError("unusable fleet topology: " + "; ".join(problems))
     kernel = VirtualKernel()
+    link = spec.ring_link if spec.cross_node_pairs else None
     shards: List[Shard] = []
     for s in range(spec.shards):
         nodes: List[ClusterNode] = []
@@ -74,7 +81,8 @@ def build_kv_fleet(spec: FleetSpec) -> Tuple[VirtualKernel, ShardMap,
             server.attach(kernel)
             nodes.append(ClusterNode(f"s{s}-r{r}", kernel, server,
                                      PROFILES["kvstore"],
-                                     transforms=kv_transforms()))
+                                     transforms=kv_transforms(),
+                                     ring_link=link))
         shards.append(Shard(s, nodes))
     shard_map = ShardMap(shards)
     chaos = kernel.chaos
@@ -211,10 +219,23 @@ def _merged_final_table(shard_map: ShardMap) -> Tuple[Dict[str, str],
     return merged, problems
 
 
+def _pair_placement(spec: FleetSpec, shard_map: ShardMap) -> Dict[str, str]:
+    """Which node houses each leader's follower: the shard's next
+    replica, round-robin, so no node hosts two follower processes."""
+    placement: Dict[str, str] = {}
+    for shard in shard_map.shards:
+        n = len(shard.nodes)
+        for node in shard.nodes:
+            peer = shard.nodes[(node.replica_index + 1) % n]
+            placement[node.name] = peer.name
+    return placement
+
+
 def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
                        shards: int = 3, replicas: int = 3,
                        sessions: int = 4, commands: int = 36,
-                       openloop: bool = False) -> Dict[str, Any]:
+                       openloop: bool = False,
+                       distributed: bool = False) -> Dict[str, Any]:
     """Run the canary-upgrade fleet scenario; returns the report dict.
 
     Three traffic phases bracket two upgrade rounds: a buggy 2.0 build
@@ -227,8 +248,16 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
     Poisson arrivals and Zipf-popular GET keys from dedicated
     :mod:`repro.sim.rng` streams (the closed-loop rng sequence is
     untouched, so the default report stays byte-identical).
+
+    ``distributed=True`` houses each MVE follower on the shard's next
+    replica node behind :data:`DEFAULT_FLEET_LINK`: every pair's ring
+    crosses the link as ``repro-ring/1`` frames, and the report grows a
+    ``distring`` section with the wire telemetry (again, only in that
+    mode — the default report stays byte-identical).
     """
-    spec = FleetSpec(shards, replicas, wave_size=1)
+    spec = FleetSpec(shards, replicas, wave_size=1,
+                     cross_node_pairs=distributed,
+                     ring_link=DEFAULT_FLEET_LINK if distributed else None)
     kernel, shard_map, balancer = build_kv_fleet(spec)
     orchestrator = FleetOrchestrator(balancer, spec,
                                      rules=kv_rules_from_dsl(),
@@ -325,6 +354,29 @@ def run_fleet_scenario(scenario: str = "canary-kvstore", seed: int = 1, *,
             "rate_per_sec": OPENLOOP_RATE_PER_SEC,
             "key_distribution": "zipf",
         }
+    if distributed:
+        # Added only in distributed mode, for the same reason.
+        wire = {"acks_received": 0, "bytes_sent": 0, "frames_delayed": 0,
+                "frames_dropped": 0, "frames_reordered": 0,
+                "frames_sent": 0, "inflight_high_watermark": 0,
+                "partition_delay_ns": 0, "partition_timeouts": 0,
+                "resyncs": 0}
+        ring_stalls = 0
+        for node in shard_map.nodes():
+            runtime = node.runtime.runtime
+            ring_stalls += runtime.ring_stalls
+            stats = runtime.ring.stats()
+            for key in wire:
+                if key == "inflight_high_watermark":
+                    wire[key] = max(wire[key], stats[key])
+                else:
+                    wire[key] += stats[key]
+        report["distring"] = {
+            "link": spec.ring_link.as_dict(),
+            "pairs": _pair_placement(spec, shard_map),
+            "ring_stalls": ring_stalls,
+            "wire": wire,
+        }
     return report
 
 
@@ -361,4 +413,18 @@ def validate_report(payload: Dict[str, Any]) -> List[str]:
     invariants = payload.get("invariants", {})
     if not isinstance(invariants.get("problems"), list):
         problems.append("invariants.problems must be a list")
+    distring = payload.get("distring")
+    if distring is not None:
+        link = distring.get("link", {})
+        for field in ("latency_ns", "bandwidth_bps", "window",
+                      "demote_timeout_ns"):
+            value = link.get(field)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"distring.link.{field} must be a "
+                                f"non-negative integer, got {value!r}")
+        wire = distring.get("wire", {})
+        for field, value in sorted(wire.items()):
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"distring.wire.{field} must be a "
+                                f"non-negative integer, got {value!r}")
     return problems

@@ -33,7 +33,8 @@ class ClusterNode:
 
     def __init__(self, name: str, kernel: VirtualKernel, server: Any,
                  profile: AppProfile, *,
-                 transforms: Optional[TransformRegistry] = None) -> None:
+                 transforms: Optional[TransformRegistry] = None,
+                 ring_link: Optional[Any] = None) -> None:
         self.name = name
         self.kernel = kernel
         self.server = server
@@ -43,9 +44,14 @@ class ClusterNode:
         #: when the node joins a replica group (None in flat clusters).
         self.shard_index: Optional[int] = None
         self.replica_index: Optional[int] = None
+        #: When set (a repro.net RingLink), this node's MVE follower is
+        #: housed on a *different* fleet node and the pair's ring
+        #: crosses the declared link.
+        self.ring_link = ring_link
         if transforms is not None:
             self.runtime: Any = Mvedsua(kernel, server, profile,
-                                        transforms=transforms)
+                                        transforms=transforms,
+                                        ring_link=ring_link)
         else:
             self.runtime = NativeRuntime(kernel, server, profile,
                                          with_kitsune=True)

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cluster.node import ClusterNode
+from repro.net.ring_wire import RingLink
 
 
 @dataclass(frozen=True)
@@ -32,11 +33,19 @@ class FleetSpec:
     so the wave width trades upgrade duration against how much of a
     shard is tied up in one wave — which is exactly what MVE701/MVE702
     lint about.
+
+    ``cross_node_pairs`` houses each MVE follower on the shard's *next*
+    replica node instead of the leader's own host, which makes the pair
+    a distributed system: its ring crosses ``ring_link``, whose
+    latency/bandwidth/window/timeout budget must be declared explicitly
+    (MVE704 territory — see :meth:`link_problems`).
     """
 
     shards: int
     replicas_per_shard: int
     wave_size: int = 1
+    cross_node_pairs: bool = False
+    ring_link: Optional[RingLink] = None
 
     def shape_problems(self) -> List[str]:
         """Malformed counts (MVE703 territory; empty list means sane)."""
@@ -72,9 +81,32 @@ class FleetSpec:
                     f"the upgrade"]
         return []
 
+    def link_problems(self) -> List[str]:
+        """Cross-node placement without a usable link (MVE704).
+
+        A leader-follower pair split across nodes replicates the ring
+        over the network; refusing to declare the link's cost budget
+        hides real latency, back-pressure, and partition exposure from
+        every downstream report — so the topology is rejected outright.
+        """
+        problems: List[str] = []
+        if self.cross_node_pairs and self.ring_link is None:
+            problems.append(
+                "cross-node MVE pairs require a declared ring link "
+                "budget (latency/bandwidth/window), got none")
+        if self.cross_node_pairs and self.replicas_per_shard < 2:
+            problems.append(
+                "cross-node MVE pairs need a second replica node per "
+                f"shard to house the follower, got "
+                f"{self.replicas_per_shard}")
+        if self.ring_link is not None:
+            problems.extend(self.ring_link.problems())
+        return problems
+
     def problems(self) -> List[str]:
         """Everything that must block an orchestrator (empty = usable)."""
-        return self.shape_problems() + self.drain_problems()
+        return self.shape_problems() + self.drain_problems() \
+            + self.link_problems()
 
     def waves(self) -> List[Tuple[int, ...]]:
         """Replica indexes per upgrade wave; the canary wave comes first.

@@ -56,10 +56,20 @@ class Mvedsua:
                  profile: AppProfile, *,
                  transforms: TransformRegistry,
                  ring_capacity: int = 256,
-                 quiesce_timeout_ns: int = 50_000_000) -> None:
+                 quiesce_timeout_ns: int = 50_000_000,
+                 ring_link: Optional[Any] = None) -> None:
+        # ``ring_link`` (a repro.net RingLink) makes this a cross-node
+        # pair: the ring becomes a DistributedRing and every published
+        # burst pays the link's latency/bandwidth/window costs.
+        ring = None
+        if ring_link is not None:
+            from repro.mve.distring import DistributedRing
+            ring = DistributedRing(ring_capacity, ring_link, kernel)
+        self.ring_link = ring_link
         self.runtime = VaranRuntime(kernel, server, profile,
                                     ring_capacity=ring_capacity,
-                                    with_kitsune=True)
+                                    with_kitsune=True,
+                                    ring=ring)
         self.runtime.observer = self._on_runtime_event
         self.profile = profile
         self.kitsune = Kitsune(transforms, quiesce_timeout_ns)

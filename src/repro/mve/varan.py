@@ -120,10 +120,18 @@ class VaranRuntime:
                  profile: AppProfile, *,
                  ring_capacity: int = 256,
                  with_kitsune: bool = True,
-                 rules: Optional[RuleSet] = None) -> None:
+                 rules: Optional[RuleSet] = None,
+                 ring: Optional[RingBuffer] = None) -> None:
         self.kernel = kernel
         self.profile = profile
-        self.ring = RingBuffer(ring_capacity)
+        #: ``ring`` substitutes the buffer wholesale (a
+        #: :class:`~repro.mve.distring.DistributedRing` for cross-node
+        #: pairs); by default local pairs get the plain in-memory ring
+        #: and every code path below stays exactly as before.
+        self.ring = ring if ring is not None else RingBuffer(ring_capacity)
+        #: True when the ring is link-backed (duck-typed on the wire
+        #: API so this module never imports distring).
+        self._ring_distributed = hasattr(self.ring, "next_free_at")
         self.rules = rules if rules is not None else RuleSet()
         self.with_kitsune = with_kitsune
         self.domain = server.domain
@@ -293,6 +301,10 @@ class VaranRuntime:
         while pushed < total:
             if self.follower is None:
                 return t  # follower died while we were blocked
+            if self._ring_distributed:
+                self.ring.advance(t)
+                if self._check_ring_partition(t):
+                    return t
             free = self.ring.free_slots()
             if free > 0 and chaos is not None and self._iterations \
                     and chaos.fire("mve.ring") is not None:
@@ -305,6 +317,10 @@ class VaranRuntime:
                 if tracer is not None:
                     tracer.on_ring_stall(t, self.ring.capacity)
                 freed_at = self._replay_one()
+                if freed_at is None and self._ring_distributed:
+                    # Nothing left to replay: the stall is the in-flight
+                    # window, freed when the earliest ack lands.
+                    freed_at = self.ring.next_free_at()
                 if freed_at is None:
                     raise SimulationError(
                         "ring buffer cannot hold one leader iteration "
@@ -321,6 +337,8 @@ class VaranRuntime:
             if tracer is not None:
                 tracer.on_ring_publish(t, take, len(self.ring),
                                        self.ring.high_watermark)
+        if self._ring_distributed and self._check_ring_partition(t):
+            return t
         if self.follower is not None:
             self._iterations.append(IterationDescriptor(
                 n_records=total,
@@ -331,6 +349,10 @@ class VaranRuntime:
         while True:
             if self.follower is None:
                 return t
+            if self._ring_distributed:
+                self.ring.advance(t)
+                if self._check_ring_partition(t):
+                    return t
             try:
                 self.ring.push(payload, t)
                 return t
@@ -340,6 +362,8 @@ class VaranRuntime:
                 if tracer is not None:
                     tracer.on_ring_stall(t, self.ring.capacity)
                 freed_at = self._replay_one()
+                if freed_at is None and self._ring_distributed:
+                    freed_at = self.ring.next_free_at()
                 if freed_at is None:
                     raise SimulationError(
                         "ring buffer cannot hold one leader iteration "
@@ -349,6 +373,22 @@ class VaranRuntime:
                                      max(t, freed_at),
                                      capacity=self.ring.capacity)
                 t = max(t, freed_at)
+
+    def _check_ring_partition(self, t: int) -> bool:
+        """Demote the follower when a distributed ring's partition
+        budget is exhausted; True when the demotion ran.  Only called
+        on link-backed rings (``_ring_distributed``)."""
+        ring = self.ring
+        if not ring.partition_timed_out or self.follower is None:
+            return False
+        at = max(t, ring.partition_timed_out_at or t)
+        self.log(at, "ring-partition",
+                 f"cumulative partition delay {ring.partition_delay_ns}ns "
+                 f"exceeded the link budget "
+                 f"({ring.link.demote_timeout_ns}ns)")
+        self._terminate_process(self.follower, at,
+                                reason="ring-partition-timeout")
+        return True
 
     def iteration_cost(self, trace: IterationTrace,
                        mode: ExecutionMode) -> int:
@@ -381,6 +421,10 @@ class VaranRuntime:
         forked.bind_gateway(gateway)
         cpu = self.leader.cpu.fork("follower", at=fork_done)
         self.follower = ManagedProcess(forked, gateway, cpu, "follower")
+        if self._ring_distributed:
+            # A fresh follower rejoins the replicated stream from the
+            # fork point: flush the wire and reset partition accounting.
+            self.ring.resync(fork_done)
         self.log(fork_done, "fork", forked.version.name)
         recorder = self.recorder
         if recorder is not None:

@@ -16,6 +16,7 @@ from repro.net.kernel import VirtualKernel
 from repro.net.sockets import Connection, Endpoint, ListeningSocket
 from repro.net.epoll import EpollSet
 from repro.net.filesystem import VirtualFilesystem
+from repro.net.ring_wire import RING_WIRE_SCHEMA, RingLink, WireError
 
 __all__ = [
     "VirtualKernel",
@@ -24,4 +25,7 @@ __all__ = [
     "ListeningSocket",
     "EpollSet",
     "VirtualFilesystem",
+    "RING_WIRE_SCHEMA",
+    "RingLink",
+    "WireError",
 ]

@@ -1,0 +1,200 @@
+"""The ``repro-ring/1`` wire protocol: the ring buffer over a link.
+
+A distributed MVE pair (see :mod:`repro.mve.distring`) ships the
+leader's syscall stream to a follower on another fleet node as
+*frames*: one frame per published burst, carrying the burst's
+:class:`~repro.syscalls.model.SyscallRecord` payloads (or one control
+event) coalesced into a single length-prefixed line.  The framing is
+deliberately the same shape as the ``repro-stream/1`` artifact format —
+an 8-hex-digit byte length, one space, a canonical-JSON body — so the
+same truncation/garbage detection applies on the wire as on disk.
+
+Each frame carries a monotonically increasing ``seq``; the receiver
+acknowledges frames by sequence number, and the sender bounds the
+number of unacknowledged frames in flight with
+:attr:`RingLink.window`.  A full window maps onto the existing
+ring-stall accounting: the leader blocks exactly as it does when the
+local ring is full, so Figure 7's back-pressure story extends to
+network back-pressure unchanged.
+
+:class:`RingLink` is the declared cost model of the leader→follower
+link — propagation latency, bandwidth, window, and the partition
+demotion timeout.  :func:`transit_ns` turns a frame's byte size into
+virtual transit time; everything stays integer nanoseconds so
+distributed runs are as bit-reproducible as local ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.mve.events import ControlEvent, ControlKind
+from repro.replay.stream import (deserialize_record, frame_line,
+                                 serialize_record, unframe_line)
+from repro.syscalls.model import SyscallRecord
+
+#: Wire protocol identifier, stamped into every frame (bump on shape
+#: changes; receivers reject anything else).
+RING_WIRE_SCHEMA = "repro-ring/1"
+
+#: What one frame can carry (mirrors the ring buffer's Payload).
+Payload = Union[SyscallRecord, ControlEvent]
+
+
+class WireError(SimulationError):
+    """A malformed, truncated, or protocol-violating ring frame."""
+
+
+@dataclass(frozen=True)
+class RingLink:
+    """Declared cost model of one leader→follower replication link.
+
+    ``latency_ns`` is one-way propagation delay; ``bandwidth_bps`` is
+    bytes per virtual second (serialisation delay is
+    ``frame_bytes / bandwidth``); ``window`` bounds unacknowledged
+    frames in flight; ``demote_timeout_ns`` is how much cumulative
+    partition-induced delay the pair tolerates before the follower is
+    demoted (rejoin happens via resync on the next fork).
+    ``retransmit_ns`` is the recovery delay one dropped frame costs.
+    """
+
+    latency_ns: int = 500_000
+    bandwidth_bps: int = 1_000_000_000
+    window: int = 8
+    demote_timeout_ns: int = 250_000_000
+    retransmit_ns: int = 40_000_000
+
+    def problems(self) -> List[str]:
+        """Validation problems with the link budget (empty = usable)."""
+        problems: List[str] = []
+        if self.latency_ns < 0:
+            problems.append(f"link latency must be >= 0 ns, "
+                            f"got {self.latency_ns}")
+        if self.bandwidth_bps < 1:
+            problems.append(f"link bandwidth must be >= 1 byte/s, "
+                            f"got {self.bandwidth_bps}")
+        if self.window < 1:
+            problems.append(f"link window must allow at least one frame "
+                            f"in flight, got {self.window}")
+        if self.demote_timeout_ns < 1:
+            problems.append(f"partition demote timeout must be >= 1 ns, "
+                            f"got {self.demote_timeout_ns}")
+        if self.retransmit_ns < 0:
+            problems.append(f"retransmit delay must be >= 0 ns, "
+                            f"got {self.retransmit_ns}")
+        return problems
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready form for fleet reports (sorted, deterministic)."""
+        return {"latency_ns": self.latency_ns,
+                "bandwidth_bps": self.bandwidth_bps,
+                "window": self.window,
+                "demote_timeout_ns": self.demote_timeout_ns,
+                "retransmit_ns": self.retransmit_ns}
+
+
+def transit_ns(link: RingLink, n_bytes: int) -> int:
+    """Virtual transit time of ``n_bytes`` over ``link``.
+
+    Propagation plus serialisation, rounded up to whole nanoseconds so
+    a non-empty frame over a finite link always costs at least the
+    propagation delay.
+    """
+    serialise = -(-n_bytes * 1_000_000_000 // link.bandwidth_bps)
+    return link.latency_ns + serialise
+
+
+# ---------------------------------------------------------------------------
+# Frame encode/decode
+# ---------------------------------------------------------------------------
+
+def _serialize_payload(payload: Payload) -> Dict[str, Any]:
+    if isinstance(payload, ControlEvent):
+        entry: Dict[str, Any] = {"ctl": payload.kind.value}
+        if payload.at is not None:
+            entry["at"] = payload.at
+        if payload.version is not None:
+            entry["version"] = payload.version
+        return entry
+    return serialize_record(payload)
+
+
+def _deserialize_payload(entry: Any) -> Payload:
+    if not isinstance(entry, dict):
+        raise WireError(f"frame payload entry is not an object: {entry!r}")
+    if "ctl" in entry:
+        try:
+            kind = ControlKind(entry["ctl"])
+        except ValueError as exc:
+            raise WireError(f"unknown control kind {entry['ctl']!r}") \
+                from exc
+        return ControlEvent(kind, at=entry.get("at"),
+                            version=entry.get("version"))
+    try:
+        return deserialize_record(entry)
+    except SimulationError as exc:
+        raise WireError(f"bad syscall record on the wire: {exc}") from exc
+
+
+def encode_frame(sequence: int, payloads: List[Payload]) -> str:
+    """One ``repro-ring/1`` frame: a length-prefixed JSON line.
+
+    ``sequence`` is the frame's position in the stream (0-based,
+    monotonic); the receiver uses it to detect gaps and to reassemble
+    out-of-order delivery.
+    """
+    if sequence < 0:
+        raise WireError(f"frame sequence must be >= 0, got {sequence}")
+    if not payloads:
+        raise WireError("refusing to encode an empty frame")
+    body = {"schema": RING_WIRE_SCHEMA, "seq": sequence,
+            "records": [_serialize_payload(payload)
+                        for payload in payloads]}
+    return frame_line(body)
+
+
+def decode_frame(line: str) -> Tuple[int, List[Payload]]:
+    """Parse one frame; returns ``(sequence, payloads)``.
+
+    Raises :class:`WireError` on truncation, garbage, a wrong schema,
+    or a malformed body — the receiver treats any of those as a
+    partition event, never as data.
+    """
+    try:
+        body = unframe_line(line, 0)
+    except SimulationError as exc:
+        raise WireError(str(exc)) from exc
+    if body.get("schema") != RING_WIRE_SCHEMA:
+        raise WireError(f"frame schema is {body.get('schema')!r}, "
+                        f"expected {RING_WIRE_SCHEMA!r}")
+    sequence = body.get("seq")
+    if not isinstance(sequence, int) or sequence < 0:
+        raise WireError(f"frame sequence {sequence!r} is not a "
+                        f"non-negative integer")
+    records = body.get("records")
+    if not isinstance(records, list) or not records:
+        raise WireError("frame carries no records")
+    return sequence, [_deserialize_payload(entry) for entry in records]
+
+
+def encode_ack(sequence: int) -> str:
+    """The receiver's acknowledgement for frame ``sequence``."""
+    return frame_line({"schema": RING_WIRE_SCHEMA, "ack": sequence})
+
+
+def decode_ack(line: str) -> int:
+    """Parse one ack; returns the acknowledged sequence number."""
+    try:
+        body = unframe_line(line, 0)
+    except SimulationError as exc:
+        raise WireError(str(exc)) from exc
+    if body.get("schema") != RING_WIRE_SCHEMA:
+        raise WireError(f"ack schema is {body.get('schema')!r}, "
+                        f"expected {RING_WIRE_SCHEMA!r}")
+    sequence = body.get("ack")
+    if not isinstance(sequence, int) or sequence < 0:
+        raise WireError(f"ack sequence {sequence!r} is not a "
+                        f"non-negative integer")
+    return sequence

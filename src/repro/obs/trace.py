@@ -192,6 +192,24 @@ class Tracer:
         self.emit("ring.stall", "mve", at=at, capacity=capacity)
         self.metrics.counter("ring.stalls").inc()
 
+    def on_ring_frame(self, at: int, sequence: int, count: int,
+                      n_bytes: int, inflight: int,
+                      deliver_at: int) -> None:
+        """A distributed ring shipped one repro-ring/1 frame."""
+        self.emit("net.ring.frame", "net", at=at, sequence=sequence,
+                  count=count, bytes=n_bytes, inflight=inflight,
+                  deliver_at=deliver_at)
+        self.metrics.counter("ring.frames").inc()
+        self.metrics.gauge("ring.inflight").set(inflight)
+        if self.spans is not None:
+            self.spans.add("net.ring", "net", at, deliver_at,
+                           sequence=sequence, bytes=n_bytes)
+
+    def on_ring_resync(self, at: int, resyncs: int) -> None:
+        """A distributed ring resynchronised its stream at a fork."""
+        self.emit("net.ring.resync", "net", at=at, resyncs=resyncs)
+        self.metrics.counter("ring.resync").inc()
+
     def on_rules_applied(self, n_in: int, n_out: int,
                          fired: List[str]) -> None:
         """One iteration's records crossed the rewrite-rule engine."""

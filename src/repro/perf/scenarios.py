@@ -34,6 +34,11 @@ Scenario catalogue:
   (``repro.workloads.openloop``) through restart vs Mvedsua upgrade
   waves, reporting the deterministic coordinated-omission gauges
   (offered vs achieved rate, upgrade-window p99, SLO availability).
+* ``distributed-ring-kvstore`` — the kvstore update lifecycle over the
+  local ring vs :class:`~repro.mve.distring.DistributedRing` at three
+  link-latency points (``repro.bench.distring``), reporting how ring
+  stalls, request p99 and SLO availability shift as the MVE pair's
+  ring crosses a link.
 """
 
 from __future__ import annotations
@@ -432,6 +437,48 @@ def build_openloop_upgrade_waves(ops: int) -> Thunk:
 
 
 # ---------------------------------------------------------------------------
+# Distributed-ring scenario: the link-latency sweep vs the local ring
+# ---------------------------------------------------------------------------
+
+def build_distributed_ring_kvstore(ops: int) -> Thunk:
+    """The ``repro.bench.distring`` sweep: the same kvstore update
+    lifecycle over the in-process ring and over a ``repro-ring/1`` link
+    at each latency point.
+
+    ``ops`` is the per-row request budget.  Wall-clock throughput
+    measures the wire path (frame encode/decode, window accounting);
+    the extras pin the deterministic shape the EXPERIMENTS.md table
+    rests on — per-point ring stalls, p99, and SLO availability in
+    per-mille, which must degrade monotonically with link latency.
+    """
+    # Imported lazily: the driver pulls in the full server stack.
+    from repro.bench.distring import link_label, run_distring_comparison
+
+    def thunk() -> Tuple[int, int, Dict[str, int]]:
+        report = run_distring_comparison(seed=1, commands=ops)
+        extras: Dict[str, int] = {}
+        vrequests = 0
+        syscalls = 0
+        for row in report["rows"]:
+            point = link_label(row["link_latency_ns"])
+            extras[f"ring_stalls_{point}"] = row["ring_stalls"]
+            extras[f"p99_{point}_ns"] = row["latency_p99_ns"]
+            extras[f"slo_availability_{point}_permille"] = \
+                int(round(1000 * row["slo_availability"]))
+            vrequests += row["requests"]
+            syscalls += row["syscalls"]
+        distributed = [row for row in report["rows"]
+                       if row["ring"] == "distributed"]
+        extras["wire_frames"] = sum(row["frames"] for row in distributed)
+        extras["wire_bytes"] = sum(row["wire_bytes"]
+                                   for row in distributed)
+        extras["rows_finalized"] = sum(1 for row in report["rows"]
+                                       if row["finalized"])
+        return vrequests, syscalls, extras
+    return thunk
+
+
+# ---------------------------------------------------------------------------
 # Stream scenarios: the rule engine in isolation
 # ---------------------------------------------------------------------------
 
@@ -547,4 +594,8 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
              "open-loop kvstore workload through restart vs Mvedsua "
              "upgrade waves (coordinated-omission gauges)",
              build_openloop_upgrade_waves, default_ops=2400),
+    Scenario("distributed-ring-kvstore",
+             "kvstore update lifecycle over the local ring vs a "
+             "repro-ring/1 link at three latency points",
+             build_distributed_ring_kvstore, default_ops=240),
 )}

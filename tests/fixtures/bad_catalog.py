@@ -18,6 +18,8 @@ The single app ``badkv`` plants one defect per analyzer:
 * a fleet topology whose upgrade
   wave is wider than the shard's
   replica count                      → fleet lint,    MVE701 (ERROR)
+* a cross-node MVE topology with no
+  declared ring-link budget         → fleet lint,    MVE704 (ERROR)
 """
 
 from __future__ import annotations
@@ -98,6 +100,14 @@ def _bad_fleet_topology():
     return FleetSpec(shards=2, replicas_per_shard=1, wave_size=2)
 
 
+def _bad_distributed_topology():
+    """Cross-node MVE pairs with no declared ring link: the replicated
+    ring would have no latency/window budget to charge (MVE704)."""
+    from repro.cluster.shard import FleetSpec
+    return FleetSpec(shards=2, replicas_per_shard=2, wave_size=1,
+                     cross_node_pairs=True)
+
+
 def _rules_for(old: str, new: str) -> RuleSet:
     rules = RuleSet()
     if (old, new) == ("1", "2"):
@@ -123,5 +133,6 @@ def catalog() -> Dict[str, AppConfig]:
         rules_for=_rules_for,
         seed_requests=(b"SET alpha one", b"SET beta two"),
         fault_plans=(_bad_fault_plan,),
-        fleet_topologies=(_bad_fleet_topology,),
+        fleet_topologies=(_bad_fleet_topology,
+                          _bad_distributed_topology),
     )}

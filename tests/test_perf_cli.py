@@ -17,6 +17,7 @@ def test_scenario_registry_names_are_stable():
         "fig7-ring-2^5", "fig7-ring-2^8", "fig7-ring-2^11",
         "chaos-recovery-kvstore", "fleet-canary-upgrade",
         "chaos-campaign-parallel", "openloop-upgrade-waves",
+        "distributed-ring-kvstore",
     }
 
 

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Doc lint: keep the operator docs honest.
+
+Three checks, run over ``README.md`` and every ``docs/*.md``:
+
+1. **Reachability** — every guide under ``docs/`` is mentioned (by
+   basename) in ``README.md`` or ``docs/architecture.md``, so no page
+   can silently fall out of the table of contents.
+2. **Link integrity** — every intra-repo markdown link
+   (``[text](target)``) resolves to a real file, relative to the page
+   that carries it.  External (``http``/``mailto``) and pure-anchor
+   links are skipped; anchors on file links are stripped.
+3. **CLI honesty** — every ``python -m repro …`` command quoted in the
+   docs parses against the real CLI:
+
+   * module form (``python -m repro.bench.distring``) must name an
+     importable module file under ``src/``;
+   * subcommand form (``python -m repro chaos kvstore --workers auto``)
+     is checked against the live ``--help`` of that subcommand — every
+     ``--flag`` must appear in the help text, and the first positional
+     operand must be one of the help's ``{a,b,c}`` choice groups.
+
+   ALL-CAPS operands (``PATH``, ``STREAM``) are treated as
+   placeholders, and commands containing ``…`` or ``<`` are skipped as
+   deliberately elided.  Help output is fetched once per subcommand
+   via a subprocess with ``PYTHONPATH`` including ``src``.
+
+Exit status is the number of problems (0 = clean).  CI runs this as
+the ``docs-lint`` job; locally::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = os.path.join(REPO, "docs")
+README = os.path.join(REPO, "README.md")
+
+#: ``[text](target)`` — target captured lazily so nested parens in the
+#: text part cannot swallow the link.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: One quoted CLI invocation: ``python -m repro`` plus everything up to
+#: the end of the line or the closing backtick of an inline code span.
+COMMAND_RE = re.compile(r"python -m (repro[\w.]*)([^`\n]*)")
+
+#: ``{a,b,c}`` choice groups in argparse help.
+CHOICES_RE = re.compile(r"\{([\w.,-]+)\}")
+
+
+def _doc_files() -> List[str]:
+    names = sorted(n for n in os.listdir(DOCS) if n.endswith(".md"))
+    return [os.path.join(DOCS, n) for n in names]
+
+
+def check_reachability(problems: List[str]) -> None:
+    """Every docs/*.md basename appears in README.md or architecture.md."""
+    with open(README, encoding="utf-8") as handle:
+        index = handle.read()
+    arch = os.path.join(DOCS, "architecture.md")
+    if os.path.exists(arch):
+        with open(arch, encoding="utf-8") as handle:
+            index += handle.read()
+    for path in _doc_files():
+        name = os.path.basename(path)
+        if name == "architecture.md":
+            continue
+        if name not in index:
+            problems.append(f"docs/{name}: not mentioned in README.md "
+                            f"or docs/architecture.md")
+
+
+def check_links(path: str, text: str, problems: List[str]) -> None:
+    """Every relative markdown link resolves from the page's directory."""
+    base = os.path.dirname(path)
+    rel = os.path.relpath(path, REPO)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            problems.append(f"{rel}: broken link -> {target}")
+
+
+class CliChecker:
+    """Validates quoted ``python -m repro …`` commands against the CLI."""
+
+    #: Subcommands with their own parsers, plus the experiment names the
+    #: top-level parser accepts directly (kept in sync by a live probe of
+    #: ``python -m repro bogus``, which lists the valid choices).
+    def __init__(self) -> None:
+        self._help: Dict[str, Optional[str]] = {}
+        self._env = dict(os.environ)
+        src = os.path.join(REPO, "src")
+        existing = self._env.get("PYTHONPATH", "")
+        self._env["PYTHONPATH"] = (src + os.pathsep + existing
+                                   if existing else src)
+        self._subcommands = self._probe_subcommands()
+
+    def _run(self, argv: List[str]) -> str:
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"] + argv,
+            capture_output=True, text=True, env=self._env, cwd=REPO,
+            timeout=60)
+        return result.stdout + result.stderr
+
+    def _probe_subcommands(self) -> List[str]:
+        """The experiment/subcommand vocabulary, from the real parser."""
+        output = self._run(["--bogus-doc-lint-probe"])
+        groups = CHOICES_RE.findall(output)
+        names: List[str] = []
+        for group in groups:
+            names.extend(group.split(","))
+        return sorted(set(names))
+
+    def help_for(self, sub: str) -> Optional[str]:
+        """Cached ``python -m repro <sub> --help`` text (None = unknown)."""
+        if sub not in self._help:
+            if sub not in self._subcommands:
+                self._help[sub] = None
+            else:
+                self._help[sub] = self._run([sub, "--help"])
+        return self._help[sub]
+
+    def check_module(self, module: str, where: str,
+                     problems: List[str]) -> None:
+        """``python -m repro.x.y`` must name a real module under src/."""
+        parts = module.split(".")
+        as_file = os.path.join(REPO, "src", *parts) + ".py"
+        as_pkg = os.path.join(REPO, "src", *parts, "__init__.py")
+        if not (os.path.exists(as_file) or os.path.exists(as_pkg)):
+            problems.append(f"{where}: no such module under src/ "
+                            f"-> python -m {module}")
+
+    def check_command(self, module: str, rest: str, where: str,
+                      problems: List[str]) -> None:
+        if module != "repro":
+            self.check_module(module, where, problems)
+            return
+        if "…" in rest or "<" in rest:
+            return  # deliberately elided in the prose
+        # Strip shell trimmings: comments, redirections, pipes, quotes.
+        rest = re.split(r"[#|>]", rest, 1)[0]
+        tokens = [t.strip("'\"`,.;:()") for t in rest.split()]
+        tokens = [t for t in tokens if t]
+        if not tokens:
+            return  # bare "python -m repro" in prose
+        sub = tokens[0]
+        help_text = self.help_for(sub)
+        if help_text is None:
+            problems.append(f"{where}: unknown subcommand -> "
+                            f"python -m repro {sub}")
+            return
+        for flag in (t for t in tokens[1:] if t.startswith("--")):
+            name = flag.split("=", 1)[0]
+            if name not in help_text:
+                problems.append(f"{where}: python -m repro {sub} has no "
+                                f"flag {name}")
+        # First positional operand straight after the subcommand; flag
+        # values never sit there, so this cannot misfire on them.
+        if len(tokens) > 1 and not tokens[1].startswith("-"):
+            operand = tokens[1]
+            if not operand.isupper():  # ALL-CAPS = placeholder
+                choices = set()
+                for group in CHOICES_RE.findall(help_text):
+                    choices.update(group.split(","))
+                if choices and operand not in choices:
+                    problems.append(
+                        f"{where}: python -m repro {sub} does not accept "
+                        f"operand {operand!r}")
+
+
+def check_commands(path: str, text: str, checker: CliChecker,
+                   problems: List[str]) -> None:
+    rel = os.path.relpath(path, REPO)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in COMMAND_RE.finditer(line):
+            checker.check_command(match.group(1), match.group(2),
+                                  f"{rel}:{lineno}", problems)
+
+
+def main() -> int:
+    problems: List[str] = []
+    check_reachability(problems)
+    checker = CliChecker()
+    pages: List[Tuple[str, str]] = []
+    for path in [README] + _doc_files():
+        with open(path, encoding="utf-8") as handle:
+            pages.append((path, handle.read()))
+    for path, text in pages:
+        check_links(path, text, problems)
+        check_commands(path, text, checker, problems)
+    for problem in problems:
+        print(problem)
+    count = len(problems)
+    print(f"docs lint: {count} problem(s) across {len(pages)} page(s)")
+    return min(count, 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
